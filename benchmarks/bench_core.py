@@ -1,0 +1,92 @@
+"""Microbenchmarks of the core engine: graph ops, closure, candidates,
+serialization search.  These track the constants behind every experiment.
+"""
+
+from repro.core.atomicity import close_store_atomicity
+from repro.core.candidates import candidate_stores
+from repro.core.execution import Execution
+from repro.core.graph import EdgeKind, ExecutionGraph
+from repro.core.node import Node
+from repro.core.serialization import find_serialization
+from repro.core.enumerate import enumerate_behaviors
+from repro.experiments.fig5 import build_program as build_fig5
+from repro.isa.instructions import OpClass
+from repro.litmus.library import get_test
+from repro.models.registry import get_model
+
+
+def _chain_graph(n: int) -> ExecutionGraph:
+    graph = ExecutionGraph()
+    for i in range(n):
+        graph.add_node(Node(i, 0, i, None, OpClass.COMPUTE))
+    return graph
+
+
+def test_edge_insertion_chain(benchmark):
+    def build():
+        graph = _chain_graph(64)
+        for i in range(63):
+            graph.add_edge(i, i + 1, EdgeKind.PROGRAM)
+        return graph
+
+    graph = benchmark(build)
+    assert graph.before(0, 63)
+
+
+def test_edge_insertion_dense(benchmark):
+    def build():
+        graph = _chain_graph(32)
+        for v in range(32):
+            for u in range(v):
+                graph.add_edge(u, v, EdgeKind.PROGRAM)
+        return graph
+
+    graph = benchmark(build)
+    assert graph.before(0, 31)
+
+
+def test_graph_copy(benchmark):
+    graph = _chain_graph(64)
+    for i in range(63):
+        graph.add_edge(i, i + 1, EdgeKind.PROGRAM)
+    duplicate = benchmark(graph.copy)
+    assert duplicate.before(0, 63)
+
+
+def test_closure_on_fig5_execution(benchmark):
+    execution = enumerate_behaviors(build_fig5(), get_model("weak")).executions[0]
+
+    def reclose():
+        return close_store_atomicity(execution.graph)
+
+    added = benchmark(reclose)
+    assert added == 0  # already at a fixpoint: measures the scan cost
+
+
+def test_candidate_computation(benchmark):
+    execution = Execution.initial(get_test("IRIW").program, get_model("weak"))
+    loads = execution.eligible_loads()
+
+    def all_candidates():
+        return [candidate_stores(execution, load) for load in loads]
+
+    candidate_sets = benchmark(all_candidates)
+    assert all(candidate_sets)
+
+
+def test_serialization_witness_search(benchmark):
+    execution = enumerate_behaviors(build_fig5(), get_model("weak")).executions[0]
+    witness = benchmark(find_serialization, execution)
+    assert witness is not None
+
+
+def test_state_key(benchmark):
+    execution = Execution.initial(get_test("IRIW").program, get_model("weak"))
+    key = benchmark(execution.state_key)
+    assert key
+
+
+def test_execution_copy(benchmark):
+    execution = Execution.initial(get_test("IRIW").program, get_model("weak"))
+    duplicate = benchmark(execution.copy)
+    assert duplicate.state_key() == execution.state_key()

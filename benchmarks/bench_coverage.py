@@ -1,0 +1,17 @@
+"""Benchmark: schedule-coverage measurement of the single-run machines."""
+
+from repro.analysis.coverage import coherent_machine, measure_coverage, ooo_machine
+from repro.litmus.library import get_test
+
+_SB = get_test("SB").program
+_MP = get_test("MP").program
+
+
+def test_coverage_ooo_sb(benchmark):
+    report = benchmark(measure_coverage, _SB, ooo_machine, "tso", 200)
+    assert report.complete and report.violations == 0
+
+
+def test_coverage_coherent_mp(benchmark):
+    report = benchmark(measure_coverage, _MP, coherent_machine, "sc", 200)
+    assert report.complete and report.violations == 0

@@ -1,0 +1,31 @@
+"""TAB-CYCLES benchmark: cycle synthesis + verdict checking."""
+
+from repro.litmus.generator import EdgeKindSpec as E
+from repro.litmus.generator import generate, predict_verdict
+from repro.litmus.runner import run_litmus
+
+_SB_CYCLE = [E.FRE, E.POD_WR, E.FRE, E.POD_WR]
+_IRIW_CYCLE = [E.RFE, E.POD_RR, E.FRE, E.RFE, E.POD_RR, E.FRE]
+
+
+def test_generate_sb(benchmark):
+    generated = benchmark(generate, _SB_CYCLE)
+    assert len(generated.test.program.threads) == 2
+
+
+def test_generate_iriw(benchmark):
+    generated = benchmark(generate, _IRIW_CYCLE)
+    assert len(generated.test.program.threads) == 4
+
+
+def test_generated_verdict_weak(benchmark):
+    generated = generate(_SB_CYCLE, "bench-gen-sb")
+    verdict = benchmark(run_litmus, generated.test, "weak")
+    assert verdict.holds == predict_verdict(generated, "weak")
+
+
+def test_cycles_experiment(benchmark):
+    from repro.experiments import cycles_exp
+
+    result = benchmark(cycles_exp.run)
+    assert result.passed, result.summary()

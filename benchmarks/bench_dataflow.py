@@ -1,0 +1,32 @@
+"""Benchmark: the ≺-linearization dataflow machine vs the axiomatic
+enumerator on the same programs (the two sides of TAB-XVAL's weak rows)."""
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.litmus.library import get_test
+from repro.models.registry import get_model
+from repro.operational.dataflow import run_dataflow
+
+_SB = get_test("SB").program
+_IRIW = get_test("IRIW").program
+
+
+def test_dataflow_weak_sb(benchmark):
+    result = benchmark(run_dataflow, _SB, "weak")
+    assert len(result.outcomes) == 4
+
+
+def test_axiomatic_weak_sb(benchmark):
+    model = get_model("weak")
+    result = benchmark(enumerate_behaviors, _SB, model)
+    assert result.register_outcomes() == run_dataflow(_SB, "weak").outcomes
+
+
+def test_dataflow_weak_iriw(benchmark):
+    result = benchmark(run_dataflow, _IRIW, "weak")
+    assert len(result.outcomes) == 16
+
+
+def test_axiomatic_weak_iriw(benchmark):
+    model = get_model("weak")
+    result = benchmark(enumerate_behaviors, _IRIW, model)
+    assert result.register_outcomes() == run_dataflow(_IRIW, "weak").outcomes

@@ -1,0 +1,34 @@
+"""TAB-DELAYS benchmark: static delay-set analysis."""
+
+from repro.analysis.delays import delay_set, fence_delays
+from repro.analysis.compare import check_robustness
+from repro.litmus.library import get_test
+
+_IRIW = get_test("IRIW").program
+_SB = get_test("SB").program
+
+
+def test_delay_set_sb(benchmark):
+    report = benchmark(delay_set, _SB)
+    assert len(report.delays) == 2
+
+
+def test_delay_set_iriw(benchmark):
+    report = benchmark(delay_set, _IRIW)
+    assert len(report.delays) == 2
+
+
+def test_fence_and_verify_robust(benchmark):
+    def analyze_and_verify():
+        fenced = fence_delays(_SB)
+        return check_robustness(fenced, "weak")
+
+    report = benchmark(analyze_and_verify)
+    assert report.robust
+
+
+def test_delays_experiment(benchmark):
+    from repro.experiments import delays_exp
+
+    result = benchmark(delays_exp.run)
+    assert result.passed, result.summary()

@@ -1,0 +1,26 @@
+"""TAB-FENCESYNTH benchmark: minimal-fence search cost."""
+
+from repro.analysis.fencesynth import synthesize_fences
+from repro.litmus.library import get_test
+
+
+def test_synthesize_sb_weak(benchmark):
+    synthesis = benchmark(synthesize_fences, get_test("SB"), "weak")
+    assert synthesis.fence_count == 2
+
+
+def test_synthesize_mp_pso(benchmark):
+    synthesis = benchmark(synthesize_fences, get_test("MP"), "pso")
+    assert synthesis.fence_count == 1
+
+
+def test_synthesize_iriw_weak(benchmark):
+    synthesis = benchmark(synthesize_fences, get_test("IRIW"), "weak")
+    assert synthesis.fence_count == 2
+
+
+def test_fencesynth_experiment(benchmark):
+    from repro.experiments import fencesynth_exp
+
+    result = benchmark(fencesynth_exp.run)
+    assert result.passed, result.summary()

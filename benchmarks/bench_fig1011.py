@@ -1,0 +1,24 @@
+"""FIG10_11 benchmark: TSO bypass vs the operational store-buffer machine."""
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.experiments import fig1011
+from repro.models.registry import get_model
+from repro.operational.storebuffer import run_tso
+
+
+def test_fig1011_experiment(benchmark):
+    result = benchmark(fig1011.run)
+    assert result.passed, result.summary()
+
+
+def test_fig1011_axiomatic_tso(benchmark):
+    program = fig1011.build_program()
+    model = get_model("tso")
+    result = benchmark(enumerate_behaviors, program, model)
+    assert fig1011.PAPER_OUTCOME in result.register_outcomes()
+
+
+def test_fig1011_operational_tso(benchmark):
+    program = fig1011.build_program()
+    result = benchmark(run_tso, program)
+    assert fig1011.PAPER_OUTCOME in result.outcomes

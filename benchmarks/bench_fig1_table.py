@@ -1,0 +1,23 @@
+"""FIG1 benchmark: regenerate the Weak Reordering Axioms table.
+
+Regenerates paper Figure 1 and times table rendering plus the axiom
+checks.  The assertions re-verify the paper's entries on every run.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1_table(benchmark):
+    result = benchmark(fig1.run)
+    assert result.passed, result.summary()
+    assert "x != y" in result.details
+
+
+def test_fig1_render_all_models(benchmark):
+    from repro.models.registry import available_models, get_model
+
+    def render_all():
+        return [fig1.render_table(get_model(name)) for name in available_models()]
+
+    tables = benchmark(render_all)
+    assert len(tables) >= 7

@@ -1,0 +1,21 @@
+"""FIG3 benchmark: rule a — observed overwrites order stores.
+
+Times the full enumeration + claim checking for paper Figure 3 and,
+separately, the raw enumeration of the figure's program under WEAK.
+"""
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.experiments import fig3
+from repro.models.registry import get_model
+
+
+def test_fig3_experiment(benchmark):
+    result = benchmark(fig3.run)
+    assert result.passed, result.summary()
+
+
+def test_fig3_enumeration(benchmark):
+    program = fig3.build_program()
+    model = get_model("weak")
+    result = benchmark(enumerate_behaviors, program, model)
+    assert len(result) > 0

@@ -1,0 +1,17 @@
+"""FIG4 benchmark: rule b — observers precede overwriting stores."""
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.experiments import fig4
+from repro.models.registry import get_model
+
+
+def test_fig4_experiment(benchmark):
+    result = benchmark(fig4.run)
+    assert result.passed, result.summary()
+
+
+def test_fig4_enumeration(benchmark):
+    program = fig4.build_program()
+    model = get_model("weak")
+    result = benchmark(enumerate_behaviors, program, model)
+    assert len(result) > 0

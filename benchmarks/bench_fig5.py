@@ -1,0 +1,21 @@
+"""FIG5 benchmark: rule c — parallel observations order third parties.
+
+Figure 5 is the largest figure program (three threads, nine memory
+operations), so it also serves as the closure-stress benchmark.
+"""
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.experiments import fig5
+from repro.models.registry import get_model
+
+
+def test_fig5_experiment(benchmark):
+    result = benchmark(fig5.run)
+    assert result.passed, result.summary()
+
+
+def test_fig5_enumeration(benchmark):
+    program = fig5.build_program()
+    model = get_model("weak")
+    result = benchmark(enumerate_behaviors, program, model)
+    assert len(result) > 0

@@ -1,0 +1,17 @@
+"""FIG7 benchmark: the Store Atomicity closure cascade (edges a→d)."""
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.experiments import fig7
+from repro.models.registry import get_model
+
+
+def test_fig7_experiment(benchmark):
+    result = benchmark(fig7.run)
+    assert result.passed, result.summary()
+
+
+def test_fig7_enumeration(benchmark):
+    program = fig7.build_program()
+    model = get_model("weak")
+    result = benchmark(enumerate_behaviors, program, model)
+    assert len(result) > 0

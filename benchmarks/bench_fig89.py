@@ -1,0 +1,29 @@
+"""FIG8_9 benchmark: address-aliasing speculation.
+
+Times the full experiment (non-speculative vs speculative enumeration of
+the pointer program) and the speculative enumeration alone, whose
+rollback machinery is the §5.2 cost being measured.
+"""
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.experiments import fig89
+from repro.models.registry import get_model
+
+
+def test_fig89_experiment(benchmark):
+    result = benchmark(fig89.run)
+    assert result.passed, result.summary()
+
+
+def test_fig89_speculative_enumeration(benchmark):
+    program = fig89.build_program()
+    model = get_model("weak-spec")
+    result = benchmark(enumerate_behaviors, program, model)
+    assert len(result) > 0
+
+
+def test_fig89_rollback_heavy_enumeration(benchmark):
+    program = fig89.build_aliasing_program()
+    model = get_model("weak-spec")
+    result = benchmark(enumerate_behaviors, program, model)
+    assert result.stats.rolled_back > 0

@@ -1,0 +1,37 @@
+"""TAB-LITMUS benchmark: the litmus × model outcome matrix.
+
+Times representative slices of the matrix (the full 23 × 5 matrix runs in
+the test suite; benchmarks keep the per-round work bounded) and asserts
+the expected verdicts on every round.
+"""
+
+from repro.litmus.library import all_tests, get_test
+from repro.litmus.runner import run_litmus, run_matrix
+
+_CORE = ("SB", "MP", "LB", "IRIW", "CoRR")
+
+
+def test_core_matrix_weak(benchmark):
+    tests = [get_test(name) for name in _CORE]
+    verdicts = benchmark(run_matrix, tests, ("weak",))
+    assert all(v.matches_expectation for v in verdicts)
+
+
+def test_core_matrix_all_models(benchmark):
+    tests = [get_test(name) for name in _CORE]
+    verdicts = benchmark(run_matrix, tests, ("sc", "tso", "pso", "weak"))
+    assert all(v.matches_expectation for v in verdicts)
+
+
+def test_iriw_fences_store_atomicity(benchmark):
+    """The store-atomicity signature test: IRIW+fences forbidden even
+    under the weakest table."""
+    test = get_test("IRIW+fences")
+    verdict = benchmark(run_litmus, test, "weak")
+    assert not verdict.holds
+
+
+def test_full_library_single_model(benchmark):
+    tests = all_tests()
+    verdicts = benchmark(run_matrix, tests, ("tso",))
+    assert all(v.matches_expectation for v in verdicts)

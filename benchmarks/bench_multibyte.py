@@ -1,0 +1,32 @@
+"""TAB-MIXEDSIZE benchmark: byte-desugared wide accesses."""
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.experiments.multibyte_exp import build_merge, build_tearing
+from repro.models.registry import get_model
+from repro.tm import enumerate_transactional
+
+
+def test_tearing_enumeration(benchmark):
+    program, _ = build_tearing()
+    model = get_model("sc")
+    result = benchmark(enumerate_behaviors, program, model)
+    assert len(result) == 4
+
+
+def test_single_copy_atomic_enumeration(benchmark):
+    program, blocks = build_tearing()
+    result = benchmark(enumerate_transactional, program, blocks, "sc")
+    assert result.rejected > 0
+
+
+def test_merge_enumeration(benchmark):
+    program, blocks = build_merge()
+    result = benchmark(enumerate_transactional, program, blocks, "sc")
+    assert len(result) > 0
+
+
+def test_multibyte_experiment(benchmark):
+    from repro.experiments import multibyte_exp
+
+    result = benchmark(multibyte_exp.run)
+    assert result.passed, result.summary()

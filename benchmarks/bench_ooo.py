@@ -1,0 +1,36 @@
+"""TAB-OOO benchmark: the out-of-order core machine."""
+
+from repro.litmus.library import get_test
+from repro.ooo import run_ooo
+
+_SB = get_test("SB").program
+_IRIW = get_test("IRIW").program
+_DEKKER = get_test("dekker-nofence").program
+
+
+def test_ooo_single_run_sb(benchmark):
+    run = benchmark(run_ooo, _SB, 7)
+    assert run.steps > 0
+
+
+def test_ooo_single_run_iriw(benchmark):
+    run = benchmark(run_ooo, _IRIW, 7)
+    assert run.steps > 0
+
+
+def test_ooo_branchy_run(benchmark):
+    run = benchmark(run_ooo, _DEKKER, 7)
+    assert run.steps > 0
+
+
+def test_ooo_schedule_sweep(benchmark):
+    def sweep():
+        return [run_ooo(_SB, seed=seed).registers for seed in range(30)]
+
+    outcomes = benchmark(sweep)
+    assert len(set(outcomes)) >= 3
+
+
+def test_ooo_no_replay_run(benchmark):
+    run = benchmark(run_ooo, _IRIW, 7, False)
+    assert run.steps > 0

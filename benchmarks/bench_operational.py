@@ -1,0 +1,46 @@
+"""Benchmark: the cost of each operational machine on one program.
+
+Compares the interleaving SC machine, the store-buffer machines, the
+dataflow machine, the coherent multiprocessor, and the out-of-order core
+on the same litmus program, so regressions in any machine's constants
+are visible side by side.
+"""
+
+from repro.coherence import run_coherent
+from repro.litmus.library import get_test
+from repro.ooo import run_ooo
+from repro.operational.dataflow import run_dataflow
+from repro.operational.sc import run_sc
+from repro.operational.storebuffer import run_pso, run_tso
+
+_MP = get_test("MP").program
+
+
+def test_machine_sc(benchmark):
+    result = benchmark(run_sc, _MP)
+    assert result.terminal_states > 0
+
+
+def test_machine_tso(benchmark):
+    result = benchmark(run_tso, _MP)
+    assert result.terminal_states > 0
+
+
+def test_machine_pso(benchmark):
+    result = benchmark(run_pso, _MP)
+    assert result.terminal_states > 0
+
+
+def test_machine_dataflow_weak(benchmark):
+    result = benchmark(run_dataflow, _MP, "weak")
+    assert result.terminal_states > 0
+
+
+def test_machine_coherent(benchmark):
+    run = benchmark(run_coherent, _MP, 5)
+    assert run.transactions > 0
+
+
+def test_machine_ooo(benchmark):
+    run = benchmark(run_ooo, _MP, 5)
+    assert run.steps > 0

@@ -1,0 +1,30 @@
+"""TAB-RELACQ benchmark: acquire/release annotated programs."""
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.litmus.library import get_test
+from repro.litmus.runner import run_litmus
+from repro.models.registry import get_model
+
+
+def test_mp_ra_weak(benchmark):
+    verdict = benchmark(run_litmus, get_test("MP+ra"), "weak")
+    assert not verdict.holds
+
+
+def test_sb_ra_tso(benchmark):
+    verdict = benchmark(run_litmus, get_test("SB+ra"), "tso")
+    assert verdict.holds
+
+
+def test_lock_handoff_enumeration(benchmark):
+    program = get_test("lock-handoff").program
+    model = get_model("weak")
+    result = benchmark(enumerate_behaviors, program, model)
+    assert len(result) > 0
+
+
+def test_relacq_experiment(benchmark):
+    from repro.experiments import relacq_exp
+
+    result = benchmark(relacq_exp.run)
+    assert result.passed, result.summary()

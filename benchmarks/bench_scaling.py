@@ -1,0 +1,57 @@
+"""TAB-SCALE benchmark: enumeration cost vs program size.
+
+Parametrized sweeps over the fan-out and SB-chain program families from
+the scaling experiment, timing the full enumeration at each size.
+"""
+
+import pytest
+
+from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
+from repro.experiments.scaling import chain_program, sb_chain
+from repro.models.registry import get_model
+
+_LIMITS = EnumerationLimits(max_behaviors=5_000_000)
+
+
+@pytest.mark.parametrize("writers", [1, 2, 3, 4])
+def test_fanout_enumeration(benchmark, writers):
+    program = chain_program(writers)
+    model = get_model("weak")
+    result = benchmark(enumerate_behaviors, program, model, _LIMITS)
+    assert len(result) >= 1
+
+
+@pytest.mark.parametrize("pairs", [1, 2])
+def test_sb_chain_enumeration(benchmark, pairs):
+    program = sb_chain(pairs)
+    model = get_model("weak")
+    result = benchmark(enumerate_behaviors, program, model, _LIMITS)
+    assert len(result) == 4**pairs
+
+
+@pytest.mark.parametrize("model_name", ["sc", "tso", "pso", "weak"])
+def test_model_cost_on_fanout(benchmark, model_name):
+    program = chain_program(3)
+    model = get_model(model_name)
+    result = benchmark(enumerate_behaviors, program, model, _LIMITS)
+    assert len(result) >= 1
+
+
+@pytest.mark.parametrize("ring", [2, 3])
+def test_sb_ring_family(benchmark, ring):
+    from repro.litmus.families import sb_ring
+
+    program = sb_ring(ring).program
+    model = get_model("tso")
+    result = benchmark(enumerate_behaviors, program, model, _LIMITS)
+    assert len(result) >= 1
+
+
+@pytest.mark.parametrize("hops", [1, 2])
+def test_mp_chain_family(benchmark, hops):
+    from repro.litmus.families import mp_chain
+
+    program = mp_chain(hops).program
+    model = get_model("weak")
+    result = benchmark(enumerate_behaviors, program, model, _LIMITS)
+    assert len(result) >= 1

@@ -1,0 +1,35 @@
+"""TAB-TM benchmark: transactional filtering cost."""
+
+from repro.experiments.tm_exp import COUNTER_BLOCKS, build_counter
+from repro.tm import enumerate_transactional, transactional_witness
+from repro.core.enumerate import enumerate_behaviors
+from repro.models.registry import get_model
+
+_COUNTER = build_counter()
+
+
+def test_transactional_counter_sc(benchmark):
+    result = benchmark(enumerate_transactional, _COUNTER, COUNTER_BLOCKS, "sc")
+    assert result.rejected > 0
+
+
+def test_transactional_counter_weak(benchmark):
+    result = benchmark(enumerate_transactional, _COUNTER, COUNTER_BLOCKS, "weak")
+    assert len(result) > 0
+
+
+def test_witness_search(benchmark):
+    executions = enumerate_transactional(_COUNTER, COUNTER_BLOCKS, "sc").executions
+
+    def witnesses():
+        return [transactional_witness(e, COUNTER_BLOCKS) for e in executions]
+
+    results = benchmark(witnesses)
+    assert all(witness is not None for witness in results)
+
+
+def test_tm_experiment(benchmark):
+    from repro.experiments import tm_exp
+
+    result = benchmark(tm_exp.run)
+    assert result.passed, result.summary()

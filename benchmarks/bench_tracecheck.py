@@ -1,0 +1,35 @@
+"""TAB-TRACECHECK benchmark: post-mortem trace validation cost."""
+
+from repro.analysis.tracecheck import check_trace
+from repro.experiments.tracecheck_exp import double_fig5_trace, fig5_trace, sb_trace
+
+
+def test_sb_trace_check(benchmark):
+    trace = sb_trace(0, 0)
+    verdict = benchmark(check_trace, trace, "weak")
+    assert verdict.accepted
+
+
+def test_fig5_trace_check(benchmark):
+    trace = fig5_trace(2, 4, 6, 8)
+    verdict = benchmark(check_trace, trace, "weak")
+    assert verdict.accepted
+
+
+def test_double_fig5_full_rules(benchmark):
+    witness = double_fig5_trace()
+    verdict = benchmark(check_trace, witness, "weak", "abc")
+    assert not verdict.accepted
+
+
+def test_double_fig5_ab_rules(benchmark):
+    witness = double_fig5_trace()
+    verdict = benchmark(check_trace, witness, "weak", "ab")
+    assert verdict.accepted
+
+
+def test_tracecheck_experiment(benchmark):
+    from repro.experiments import tracecheck_exp
+
+    result = benchmark(tracecheck_exp.run)
+    assert result.passed, result.summary()

@@ -1,0 +1,29 @@
+"""TAB-VALUESPEC benchmark: value-speculation enumeration modes."""
+
+from repro.core.valuespec import enumerate_value_speculation
+from repro.litmus.library import get_test
+
+_MP = get_test("MP").program
+_SB = get_test("SB").program
+
+
+def test_safe_value_speculation_mp(benchmark):
+    result = benchmark(enumerate_value_speculation, _MP, "sc", True)
+    assert len(result) == 3
+
+
+def test_naive_value_speculation_mp(benchmark):
+    result = benchmark(enumerate_value_speculation, _MP, "sc", False)
+    assert result.stats.unvalidated > 0
+
+
+def test_naive_value_speculation_sb(benchmark):
+    result = benchmark(enumerate_value_speculation, _SB, "sc", False)
+    assert result.stats.unvalidated > 0
+
+
+def test_valuespec_experiment(benchmark):
+    from repro.experiments import valuespec_exp
+
+    result = benchmark(valuespec_exp.run)
+    assert result.passed, result.summary()

@@ -1,0 +1,24 @@
+"""TAB-WSYNC benchmark: the §8 well-synchronization checker."""
+
+from repro.analysis.wellsync import check_well_synchronized
+from repro.experiments.wellsync_exp import build_guarded_mp
+from repro.litmus.library import get_test
+
+_MP = get_test("MP").program
+_GUARDED = build_guarded_mp(reader_fence=True)
+
+
+def test_racy_mp_check(benchmark):
+    report = benchmark(check_well_synchronized, _MP, "weak", {"flag"})
+    assert not report.well_synchronized
+
+
+def test_guarded_mp_check(benchmark):
+    report = benchmark(check_well_synchronized, _GUARDED, "weak", {"flag"})
+    assert report.well_synchronized
+
+
+def test_cas_lock_check(benchmark):
+    program = get_test("CAS-lock").program
+    report = benchmark(check_well_synchronized, program, "weak", {"l"})
+    assert report.well_synchronized

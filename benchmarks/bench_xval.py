@@ -1,0 +1,47 @@
+"""TAB-XVAL benchmark: axiomatic vs operational equivalence.
+
+Times both formulations on the same programs and re-asserts outcome-set
+equality — the repository's strongest end-to-end validation.
+"""
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.litmus.library import get_test
+from repro.models.registry import get_model
+from repro.operational.sc import run_sc
+from repro.operational.storebuffer import run_tso
+
+_SB = get_test("SB").program
+_IRIW = get_test("IRIW").program
+
+
+def test_axiomatic_sc_sb(benchmark):
+    model = get_model("sc")
+    result = benchmark(enumerate_behaviors, _SB, model)
+    assert result.register_outcomes() == run_sc(_SB).outcomes
+
+
+def test_operational_sc_sb(benchmark):
+    result = benchmark(run_sc, _SB)
+    assert len(result.outcomes) == 3
+
+
+def test_axiomatic_tso_sb(benchmark):
+    model = get_model("tso")
+    result = benchmark(enumerate_behaviors, _SB, model)
+    assert result.register_outcomes() == run_tso(_SB).outcomes
+
+
+def test_operational_tso_sb(benchmark):
+    result = benchmark(run_tso, _SB)
+    assert len(result.outcomes) == 4
+
+
+def test_axiomatic_sc_iriw(benchmark):
+    model = get_model("sc")
+    result = benchmark(enumerate_behaviors, _IRIW, model)
+    assert result.register_outcomes() == run_sc(_IRIW).outcomes
+
+
+def test_operational_sc_iriw(benchmark):
+    result = benchmark(run_sc, _IRIW)
+    assert result.terminal_states > 0

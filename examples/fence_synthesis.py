@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Synthesize the minimal fences each idiom needs under each model.
+
+The enumeration procedure run backwards: given a forbidden outcome, find
+the smallest sets of full-fence insertions that forbid it.  The answers
+are the hardware folklore, derived mechanically:
+
+Run:  python examples/fence_synthesis.py
+"""
+
+from repro.analysis import check_robustness, synthesize_fences
+from repro.litmus import get_test
+
+CASES = (
+    ("SB", ("tso", "pso", "weak")),
+    ("MP", ("pso", "weak")),
+    ("LB", ("weak",)),
+    ("R", ("tso",)),
+    ("S", ("pso", "weak")),
+    ("IRIW", ("weak",)),
+    ("2+2W", ("pso", "weak")),
+    ("dekker-nofence", ("tso",)),
+)
+
+
+def main():
+    for test_name, models in CASES:
+        test = get_test(test_name)
+        for model_name in models:
+            synthesis = synthesize_fences(test, model_name)
+            print(synthesis.summary())
+    print()
+
+    print("Robustness before/after (SB under weak):")
+    print(" ", check_robustness(get_test("SB").program, "weak").summary())
+    print(" ", check_robustness(get_test("SB+fences").program, "weak").summary())
+    print()
+    print("Release/acquire as an alternative to fences (MP under weak):")
+    print(" ", check_robustness(get_test("MP").program, "weak").summary())
+    print(" ", check_robustness(get_test("MP+ra").program, "weak").summary())
+
+
+if __name__ == "__main__":
+    main()

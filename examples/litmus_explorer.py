@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Explore the classic litmus-test catalogue across memory models.
+
+Prints the full test × model matrix (which relaxed outcomes each model
+admits), a table of behavior counts, and the model-strength inclusion
+chain — the framework's "easy to experiment with a broad range of memory
+models" claim in action.
+
+Pass a test name to zoom in, e.g.:
+
+    python examples/litmus_explorer.py IRIW+fences
+"""
+
+import sys
+
+from repro.analysis import check_inclusion_chain, outcome_count_table
+from repro.litmus import all_tests, format_matrix, get_test, run_litmus, run_matrix
+from repro.viz import render
+
+MODELS = ("sc", "tso", "pso", "weak", "weak-corr")
+
+
+def zoom(name: str) -> None:
+    test = get_test(name)
+    print(f"{test.name}: {test.description}")
+    print(str(test.program))
+    print(f"condition: {test.condition}")
+    print()
+    for model_name in MODELS:
+        verdict = run_litmus(test, model_name)
+        print(
+            f"  {model_name:<10} {test.condition.quantifier}: "
+            f"{'Yes' if verdict.holds else 'No '}  "
+            f"executions={verdict.executions}  "
+            f"matching final states={verdict.satisfied_pairs}/{verdict.total_pairs}"
+        )
+    # show one witnessing execution when the condition is observable
+    verdict = run_litmus(test, "weak")
+    if verdict.holds and verdict.result.executions:
+        witnesses = [
+            execution
+            for execution in verdict.result.executions
+            if test.condition.holds_in(execution.final_registers(), {})
+        ]
+        if witnesses:
+            print()
+            print("one WEAK execution graph satisfying the register atoms:")
+            print(render(witnesses[0].graph))
+
+
+def overview() -> None:
+    tests = all_tests()
+    print(f"{len(tests)} classic litmus tests × {len(MODELS)} models")
+    print("(is the test's relaxed outcome observable? '!' = unexpected)")
+    print()
+    print(format_matrix(run_matrix(tests, MODELS)))
+    print()
+    print("Behavior counts (distinct executions per model):")
+    print(outcome_count_table([test.program for test in tests[:8]], MODELS))
+    print()
+    chain = ("sc", "tso", "pso", "weak")
+    report = check_inclusion_chain([test.program for test in tests], chain)
+    print(
+        f"Inclusion chain {' ⊆ '.join(chain)}: "
+        f"{'holds on every test' if report.holds else report.violations}"
+    )
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        zoom(sys.argv[1])
+    else:
+        overview()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: define a litmus program, enumerate its behaviors, compare models.
+
+Builds the classic store-buffering (SB) test two ways — via the Python DSL
+and via the textual assembly format — then enumerates every execution under
+several memory models and prints the outcome sets, the verdict for the
+classic "both loads miss" relaxed outcome, and one execution graph.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ProgramBuilder, assemble, enumerate_behaviors, get_model
+from repro.litmus import litmus_from_source, run_litmus
+from repro.viz import render
+
+
+def build_sb_with_dsl():
+    builder = ProgramBuilder("SB")
+    p0 = builder.thread("P0")
+    p0.store("x", 1)
+    p0.load("r1", "y")
+    p1 = builder.thread("P1")
+    p1.store("y", 1)
+    p1.load("r2", "x")
+    return builder.build()
+
+
+SB_SOURCE = """
+test SB
+thread P0
+    S x, 1
+    r1 = L y
+thread P1
+    S y, 1
+    r2 = L x
+exists (P0:r1=0 /\\ P1:r2=0)
+"""
+
+
+def show_outcomes(program, model_name):
+    result = enumerate_behaviors(program, get_model(model_name))
+    rows = sorted(
+        "  ".join(
+            f"{thread}:{register}={value}"
+            for (thread, register), value in sorted(outcome, key=repr)
+        )
+        for outcome in result.register_outcomes()
+    )
+    print(f"  {model_name:<10} {len(result):>2} executions:")
+    for row in rows:
+        print(f"    {row}")
+
+
+def main():
+    program = build_sb_with_dsl()
+    print(program)
+    print()
+
+    print("Behavior sets per model (the paper's enumeration procedure):")
+    for model_name in ("sc", "tso", "pso", "weak"):
+        show_outcomes(program, model_name)
+    print()
+
+    print("Litmus verdicts for: exists (P0:r1=0 /\\ P1:r2=0)")
+    test = litmus_from_source(SB_SOURCE)
+    for model_name in ("sc", "tso", "pso", "weak"):
+        verdict = run_litmus(test, model_name)
+        print(
+            f"  {model_name:<10} observable: {'Yes' if verdict.holds else 'No '} "
+            f"({verdict.satisfied_pairs}/{verdict.total_pairs} final states match)"
+        )
+    print()
+
+    print("One WEAK execution graph exhibiting the relaxed outcome:")
+    result = enumerate_behaviors(program, get_model("weak"))
+    relaxed = next(
+        execution
+        for execution in result.executions
+        if set(execution.final_registers().values()) == {0}
+    )
+    print(render(relaxed.graph))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Verify locking algorithms against relaxed memory models.
+
+The paper (Section 8) proposes exactly this application: "it can also be
+used by programmers to guarantee that a program actually behaves as
+expected (for example, to check that a locking algorithm meets its
+specification)".
+
+This example checks three lock constructions by exhaustive behavior
+enumeration:
+
+1. Dekker-style flags WITHOUT fences — mutual exclusion fails on every
+   model weaker than SC (the classic store-buffering pitfall),
+2. the same flags WITH full fences — safe on every model here,
+3. a CAS spinlock (one retry) — safe everywhere, by RMW atomicity.
+
+Run:  python examples/verify_locking.py
+"""
+
+from repro import enumerate_behaviors, get_model
+from repro.analysis import check_well_synchronized
+from repro.isa.dsl import ProgramBuilder
+from repro.litmus import litmus_from_source, run_litmus
+
+MODELS = ("sc", "tso", "pso", "weak")
+
+
+def build_dekker(fenced: bool):
+    """Two threads announce intent, then enter only if the other is quiet.
+    Entering increments the critical counter c atomically so the condition
+    [c]=2 means 'both threads were inside at once'."""
+    builder = ProgramBuilder(f"dekker{'-fenced' if fenced else '-nofence'}")
+    for me, other, out in (("fa", "fb", "out0"), ("fb", "fa", "out1")):
+        thread = builder.thread(f"P-{me}")
+        thread.store(me, 1)
+        if fenced:
+            thread.fence()
+        thread.load("r1" if me == "fa" else "r2", other)
+        thread.bnez("r1" if me == "fa" else "r2", out)
+        thread.fetch_add("r8" if me == "fa" else "r9", "c", 1)
+        thread.label(out)
+    return builder.build()
+
+
+CAS_LOCK = """
+test cas-spinlock
+thread P0
+    r1 = cas lock, 0, 1
+    beqz r1, enter0
+    r1 = cas lock, 0, 1      # one retry
+    bnez r1, out0
+enter0:
+    r3 = fadd c, 1
+    S lock, 0                # release
+out0:
+thread P1
+    r2 = cas lock, 0, 1
+    beqz r2, enter1
+    r2 = cas lock, 0, 1
+    bnez r2, out1
+enter1:
+    r4 = fadd c, 1
+    S lock, 0
+out1:
+exists (P0:r3=0 /\\ P1:r4=0)
+"""
+
+
+def check_mutual_exclusion(program, label):
+    print(f"{label}:")
+    for model_name in MODELS:
+        result = enumerate_behaviors(program, get_model(model_name))
+        # Both threads entered iff both fetch_adds happened, i.e. some
+        # execution where the counter reached 2.
+        both_entered = any(
+            2 in execution.memory_finals().get("c", ())
+            for execution in result.executions
+        )
+        verdict = "VIOLATED" if both_entered else "holds  "
+        print(
+            f"  {model_name:<6} mutual exclusion {verdict} "
+            f"({len(result)} executions)"
+        )
+    print()
+
+
+def main():
+    check_mutual_exclusion(build_dekker(fenced=False), "Dekker WITHOUT fences")
+    check_mutual_exclusion(build_dekker(fenced=True), "Dekker WITH full fences")
+
+    print("CAS spinlock with release (both-enter-simultaneously condition):")
+    test = litmus_from_source(CAS_LOCK)
+    for model_name in MODELS:
+        verdict = run_litmus(test, model_name)
+        print(
+            f"  {model_name:<6} both threads saw the lock free: "
+            f"{'POSSIBLE' if verdict.holds else 'impossible'}"
+        )
+    print()
+
+    print("Well-synchronization check (paper §8) for the fenced Dekker:")
+    report = check_well_synchronized(
+        build_dekker(fenced=True), "weak", sync_locations={"fa", "fb", "c"}
+    )
+    print(f"  {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

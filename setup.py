@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works with older setuptools/pip tool chains (the
+legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""Analyses built on the enumeration framework."""
+
+from repro.analysis.coverage import (
+    CoveragePoint,
+    CoverageReport,
+    coherent_machine,
+    measure_coverage,
+    ooo_machine,
+)
+from repro.analysis.delays import (
+    Access,
+    DelayPair,
+    DelayReport,
+    delay_set,
+    fence_delays,
+    find_critical_cycles,
+)
+from repro.analysis.fencesynth import (
+    FenceSite,
+    FenceSynthesisResult,
+    candidate_sites,
+    insert_fences,
+    synthesize_fences,
+)
+from repro.analysis.compare import (
+    ChainReport,
+    OutcomeSets,
+    RobustnessReport,
+    check_inclusion_chain,
+    check_robustness,
+    outcome_count_table,
+    outcome_sets,
+)
+from repro.analysis.tracecheck import (
+    Trace,
+    TraceOp,
+    TraceVerdict,
+    check_trace,
+    trace_from_execution,
+)
+from repro.analysis.wellsync import RaceReport, WellSyncReport, check_well_synchronized
+
+__all__ = [
+    "CoveragePoint",
+    "CoverageReport",
+    "coherent_machine",
+    "measure_coverage",
+    "ooo_machine",
+    "Access",
+    "DelayPair",
+    "DelayReport",
+    "delay_set",
+    "fence_delays",
+    "find_critical_cycles",
+    "FenceSite",
+    "FenceSynthesisResult",
+    "candidate_sites",
+    "insert_fences",
+    "synthesize_fences",
+    "RobustnessReport",
+    "check_robustness",
+    "Trace",
+    "TraceOp",
+    "TraceVerdict",
+    "check_trace",
+    "trace_from_execution",
+    "ChainReport",
+    "OutcomeSets",
+    "check_inclusion_chain",
+    "outcome_count_table",
+    "outcome_sets",
+    "RaceReport",
+    "WellSyncReport",
+    "check_well_synchronized",
+]

@@ -1,0 +1,163 @@
+"""Model-comparison analysis: behavior-set inclusion between models.
+
+A model ``A`` is *no stronger than* ``B`` on a program when every final
+register outcome of the program under ``A`` is also an outcome under
+``B``.  The paper's models form the chain SC ⊆ TSO ⊆ PSO ⊆ WEAK ⊆
+WEAK-SPEC on programs in their common fragment; this module checks such
+chains empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
+from repro.isa.program import Program
+from repro.models.base import MemoryModel
+from repro.models.registry import get_model
+
+
+@dataclass(frozen=True)
+class OutcomeSets:
+    """Register-outcome sets per model for one program."""
+
+    program_name: str
+    outcomes: dict[str, frozenset]
+
+    def count(self, model_name: str) -> int:
+        return len(self.outcomes[model_name])
+
+    def included(self, weaker: str, stronger: str) -> bool:
+        """True iff outcomes(weaker) ⊆ outcomes(stronger).
+
+        Note the naming: the *stronger ordering* model (e.g. SC) has fewer
+        behaviors; ``included("sc", "tso")`` asks whether every SC outcome
+        is also a TSO outcome.
+        """
+        return self.outcomes[weaker] <= self.outcomes[stronger]
+
+    def only_in(self, model_a: str, model_b: str) -> frozenset:
+        """Outcomes observable under ``model_a`` but not ``model_b``."""
+        return self.outcomes[model_a] - self.outcomes[model_b]
+
+
+def outcome_sets(
+    program: Program,
+    models: tuple[str | MemoryModel, ...],
+    limits: EnumerationLimits | None = None,
+) -> OutcomeSets:
+    """Enumerate the program under each model and collect outcome sets."""
+    collected: dict[str, frozenset] = {}
+    for model in models:
+        resolved = get_model(model) if isinstance(model, str) else model
+        result = enumerate_behaviors(program, resolved, limits)
+        collected[resolved.name] = result.register_outcomes()
+    return OutcomeSets(program.name, collected)
+
+
+@dataclass(frozen=True)
+class ChainReport:
+    """Result of checking an inclusion chain on a set of programs."""
+
+    chain: tuple[str, ...]
+    per_program: dict[str, OutcomeSets]
+    violations: tuple[str, ...]
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations
+
+
+def check_inclusion_chain(
+    programs: list[Program],
+    chain: tuple[str, ...],
+    limits: EnumerationLimits | None = None,
+) -> ChainReport:
+    """Check that each model in ``chain`` admits a subset of the next
+    model's outcomes, on every program."""
+    per_program: dict[str, OutcomeSets] = {}
+    violations: list[str] = []
+    for program in programs:
+        sets = outcome_sets(program, chain, limits)
+        per_program[program.name] = sets
+        for stronger, weaker in zip(chain, chain[1:]):
+            if not sets.included(stronger, weaker):
+                extra = sets.only_in(stronger, weaker)
+                violations.append(
+                    f"{program.name}: {stronger} has {len(extra)} outcome(s) "
+                    f"not in {weaker}"
+                )
+    return ChainReport(chain, per_program, tuple(violations))
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Is a program's behavior under a weak model indistinguishable from
+    SC?  (The practical question behind §8's programming disciplines: a
+    robust program may run on the weak machine unchanged.)"""
+
+    program_name: str
+    model_name: str
+    robust: bool
+    extra_outcomes: frozenset  #: outcomes possible under the model but not SC
+
+    def summary(self) -> str:
+        if self.robust:
+            return (
+                f"{self.program_name} is robust against {self.model_name}: "
+                f"all behaviors are SC behaviors"
+            )
+        samples = []
+        for outcome in sorted(self.extra_outcomes, key=repr)[:3]:
+            samples.append(
+                "{"
+                + ", ".join(
+                    f"{thread}:{register}={value}"
+                    for (thread, register), value in sorted(outcome, key=repr)
+                )
+                + "}"
+            )
+        return (
+            f"{self.program_name} is NOT robust against {self.model_name}: "
+            f"{len(self.extra_outcomes)} non-SC outcome(s), e.g. {'; '.join(samples)}"
+        )
+
+
+def check_robustness(
+    program: Program,
+    model: str | MemoryModel = "weak",
+    limits: EnumerationLimits | None = None,
+) -> RobustnessReport:
+    """Decide SC-robustness by exhaustive enumeration under both models."""
+    resolved = get_model(model) if isinstance(model, str) else model
+    sc_outcomes = enumerate_behaviors(program, get_model("sc"), limits).register_outcomes()
+    weak_outcomes = enumerate_behaviors(program, resolved, limits).register_outcomes()
+    extra = weak_outcomes - sc_outcomes
+    return RobustnessReport(
+        program_name=program.name,
+        model_name=resolved.name,
+        robust=not extra,
+        extra_outcomes=frozenset(extra),
+    )
+
+
+def outcome_count_table(
+    programs: list[Program],
+    models: tuple[str, ...],
+    limits: EnumerationLimits | None = None,
+) -> str:
+    """Render a program × model table of outcome counts."""
+    rows = []
+    for program in programs:
+        sets = outcome_sets(program, models, limits)
+        rows.append((program.name, [sets.count(m) for m in models]))
+    name_width = max(len("program"), *(len(name) for name, _ in rows)) + 2
+    column_width = max(8, *(len(m) for m in models)) + 2
+    header = "program".ljust(name_width) + "".join(m.ljust(column_width) for m in models)
+    lines = [header, "-" * len(header)]
+    for name, counts in rows:
+        lines.append(
+            name.ljust(name_width)
+            + "".join(str(c).ljust(column_width) for c in counts)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Schedule-coverage measurement for single-run machines.
+
+The axiomatic enumerator produces a model's *complete* behavior set; the
+single-schedule machines (the coherent multiprocessor, the out-of-order
+core) produce one behavior per seed.  Coverage answers "how many random
+schedules until the machine has exhibited its whole model?" — the
+practical question behind litmus-style hardware testing, where a
+forbidden outcome that never shows up is indistinguishable from one that
+is merely rare.
+
+``measure_coverage`` runs a machine over increasing seed counts and
+records the growth curve of distinct outcomes against the model's
+ground-truth set (also flagging any outcome OUTSIDE the model, which
+would be a conformance bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.isa.program import Program
+from repro.models.base import MemoryModel
+from repro.models.registry import get_model
+
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    """Distinct outcomes seen after ``seeds`` schedules."""
+
+    seeds: int
+    distinct: int
+
+
+@dataclass
+class CoverageReport:
+    """The coverage curve of one machine against one model."""
+
+    program_name: str
+    model_name: str
+    total_outcomes: int  #: size of the model's full behavior set
+    curve: list[CoveragePoint]
+    violations: int  #: runs whose outcome fell OUTSIDE the model
+    seeds_to_full: int | None  #: first seed count reaching every outcome
+
+    @property
+    def complete(self) -> bool:
+        return self.seeds_to_full is not None
+
+    def summary(self) -> str:
+        tail = self.curve[-1] if self.curve else CoveragePoint(0, 0)
+        status = (
+            f"full coverage at {self.seeds_to_full} schedules"
+            if self.complete
+            else f"{tail.distinct}/{self.total_outcomes} outcomes after {tail.seeds}"
+        )
+        violation_note = f", {self.violations} VIOLATIONS" if self.violations else ""
+        return f"{self.program_name} vs {self.model_name}: {status}{violation_note}"
+
+
+def measure_coverage(
+    program: Program,
+    machine: Callable[[Program, int], frozenset],
+    model: MemoryModel | str,
+    max_seeds: int = 400,
+    checkpoint_every: int = 25,
+) -> CoverageReport:
+    """Run ``machine(program, seed)`` (returning an outcome frozenset) for
+    seeds 0..max_seeds-1 and chart coverage of the model's behavior set.
+
+    Stops early once every outcome has been seen.
+    """
+    if isinstance(model, str):
+        model = get_model(model)
+    truth = enumerate_behaviors(program, model).register_outcomes()
+    seen: set[frozenset] = set()
+    violations = 0
+    curve: list[CoveragePoint] = []
+    seeds_to_full: int | None = None
+
+    for seed in range(max_seeds):
+        outcome = machine(program, seed)
+        if outcome in truth:
+            seen.add(outcome)
+        else:
+            violations += 1
+        if seeds_to_full is None and seen == truth:
+            seeds_to_full = seed + 1
+        if (seed + 1) % checkpoint_every == 0 or seed + 1 == max_seeds:
+            curve.append(CoveragePoint(seed + 1, len(seen)))
+        if seeds_to_full is not None:
+            if not curve or curve[-1].seeds != seed + 1:
+                curve.append(CoveragePoint(seed + 1, len(seen)))
+            break
+
+    return CoverageReport(
+        program_name=program.name,
+        model_name=model.name,
+        total_outcomes=len(truth),
+        curve=curve,
+        violations=violations,
+        seeds_to_full=seeds_to_full,
+    )
+
+
+def ooo_machine(program: Program, seed: int) -> frozenset:
+    """Adapter: the out-of-order core as a coverage subject (model: tso)."""
+    from repro.ooo import run_ooo
+
+    return run_ooo(program, seed=seed).registers
+
+
+def coherent_machine(program: Program, seed: int) -> frozenset:
+    """Adapter: the MSI multiprocessor as a coverage subject (model: sc)."""
+    from repro.coherence import run_coherent
+
+    return run_coherent(program, seed=seed).registers

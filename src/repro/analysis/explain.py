@@ -1,0 +1,238 @@
+"""Explain *why* an outcome is forbidden.
+
+The enumeration procedure can show an outcome is unreachable, but a
+programmer wants the reason — the cycle of orderings that every attempted
+construction runs into.  This module replays the trace-checker's source
+assignment search and, for each assignment consistent with the observed
+load values, extracts the contradiction: the Store Atomicity obligation
+that could not be inserted, together with the explicit-edge path that
+already ordered the two operations the other way.
+
+This is the §3.2 methodology ("reasoning from examples … identify
+ordering relationships which unambiguously rule them out") mechanized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AtomicityViolation, CycleError, ReproError
+from repro.core.atomicity import close_store_atomicity
+from repro.core.graph import EdgeKind, ExecutionGraph
+from repro.core.node import Node
+from repro.analysis.tracecheck import Trace, _build_graph
+from repro.models.base import MemoryModel
+from repro.models.registry import get_model
+
+_KIND_WORD = {
+    EdgeKind.PROGRAM: "program order",
+    EdgeKind.DATA: "data dependency",
+    EdgeKind.ADDR_DEP: "address dependency",
+    EdgeKind.SAME_ADDR: "same-address order",
+    EdgeKind.INIT: "initialization",
+    EdgeKind.SOURCE: "observation",
+    EdgeKind.ATOMICITY: "store atomicity",
+    EdgeKind.IMPOSED: "imposed order",
+}
+
+
+def _kind_word(kinds: EdgeKind) -> str:
+    for kind in (
+        EdgeKind.SOURCE,
+        EdgeKind.ATOMICITY,
+        EdgeKind.SAME_ADDR,
+        EdgeKind.ADDR_DEP,
+        EdgeKind.DATA,
+        EdgeKind.PROGRAM,
+        EdgeKind.IMPOSED,
+        EdgeKind.INIT,
+    ):
+        if kinds & kind:
+            return _KIND_WORD[kind]
+    return "order"
+
+
+def _describe_path(graph: ExecutionGraph, path) -> str:
+    pieces = []
+    for u, v, kinds in path:
+        pieces.append(
+            f"{graph.node(u).describe()}  ⊑ [{_kind_word(kinds)}]  "
+            f"{graph.node(v).describe()}"
+        )
+    return "\n      ".join(pieces)
+
+
+@dataclass
+class Contradiction:
+    """One failed construction attempt and its reason."""
+
+    assignment: dict  #: (thread, op index) -> source description
+    obligation: str  #: the edge Store Atomicity needed
+    reverse_path: str  #: why the opposite order already holds
+
+    def render(self) -> str:
+        bound = ", ".join(
+            f"{thread}[{index}]←{source}" for (thread, index), source in sorted(self.assignment.items())
+        )
+        return (
+            f"with sources {{{bound}}}:\n"
+            f"    needs {self.obligation}, but the opposite is already forced:\n"
+            f"      {self.reverse_path}"
+        )
+
+
+@dataclass
+class Explanation:
+    """The full verdict: forbidden (with reasons) or observable."""
+
+    forbidden: bool
+    model_name: str
+    contradictions: list[Contradiction]
+
+    def render(self) -> str:
+        if not self.forbidden:
+            return f"the outcome IS observable under {self.model_name}"
+        lines = [
+            f"forbidden under {self.model_name}: every source assignment "
+            f"consistent with the observed values is contradictory —"
+        ]
+        for index, contradiction in enumerate(self.contradictions, start=1):
+            lines.append(f"  ({index}) {contradiction.render()}")
+        return "\n".join(lines)
+
+
+def trace_from_litmus(test) -> Trace:
+    """Build the trace a litmus test's ``exists`` condition describes.
+
+    Works when the program is straight-line and every load's destination
+    register is pinned by a register atom of the condition.
+    """
+    from repro.analysis.tracecheck import TraceOp
+    from repro.isa.instructions import Branch, Fence, Load, Store
+    from repro.litmus.conditions import And, RegisterAtom
+
+    atoms: dict[tuple[str, str], object] = {}
+
+    def collect(expr):
+        if isinstance(expr, RegisterAtom):
+            atoms[(expr.thread, expr.register)] = expr.value
+        elif isinstance(expr, And):
+            for operand in expr.operands:
+                collect(operand)
+
+    collect(test.condition.expr)
+
+    threads = []
+    for thread in test.program.threads:
+        ops = []
+        for instruction in thread.code:
+            if isinstance(instruction, Branch):
+                raise ReproError("explain requires straight-line tests")
+            if isinstance(instruction, Fence):
+                ops.append(TraceOp.fence(instruction.kind))
+            elif isinstance(instruction, Store):
+                addr = instruction.addr_operand().value
+                value = instruction.value.value  # type: ignore[union-attr]
+                ops.append(TraceOp.store(addr, value))
+            elif isinstance(instruction, Load):
+                key = (thread.name, instruction.dst.name)
+                if key not in atoms:
+                    raise ReproError(
+                        f"condition does not pin {thread.name}:{instruction.dst.name}; "
+                        f"cannot build the trace to explain"
+                    )
+                ops.append(TraceOp.load(instruction.addr_operand().value, atoms[key]))
+            else:
+                raise ReproError(
+                    "explain supports plain load/store/fence tests only"
+                )
+        threads.append((thread.name, tuple(ops)))
+    return Trace(tuple(threads), dict(test.program.initial_memory))
+
+
+def explain_trace(
+    trace: Trace, model: MemoryModel | str = "weak", max_attempts: int = 10_000
+) -> Explanation:
+    """Explain the (non-)observability of a trace's outcome under a model."""
+    if isinstance(model, str):
+        model = get_model(model)
+    if model.store_load_bypass:
+        raise ReproError("explanations are supported for store-atomic models")
+
+    base_graph, loads, _ = _build_graph(trace, model)
+    stores = [node for node in base_graph.nodes if node.is_visible_store]
+    contradictions: list[Contradiction] = []
+    attempts = 0
+
+    def describe_source(graph: ExecutionGraph, nid: int) -> str:
+        node = graph.node(nid)
+        return "init" if node.is_init else f"{trace.threads[node.tid][0]}[{node.index}]"
+
+    def search(graph: ExecutionGraph, remaining: list[Node], assignment: dict) -> bool:
+        nonlocal attempts
+        if not remaining:
+            return True
+        load = remaining[0]
+        found_any = False
+        for store in stores:
+            if store.addr != load.addr or store.stored != load.value:
+                continue
+            attempts += 1
+            if attempts > max_attempts:
+                raise ReproError("explanation search exceeded its attempt budget")
+            attempt = graph.copy()
+            attempt_load = attempt.node(load.nid)
+            bound = dict(assignment)
+            key = (trace.threads[load.tid][0], load.index)
+            bound[key] = describe_source(attempt, store.nid)
+            try:
+                if attempt.before(load.nid, store.nid):
+                    raise CycleError(store.nid, load.nid)
+                attempt.add_edge(store.nid, load.nid, EdgeKind.SOURCE)
+                attempt_load.source = store.nid
+                attempt_load.executed = True
+                attempt_load.value = load.value
+                close_store_atomicity(attempt)
+            except CycleError as exc:
+                path = attempt.find_path(exc.target, exc.source) or []
+                contradictions.append(
+                    Contradiction(
+                        assignment=bound,
+                        obligation=(
+                            f"{attempt.node(exc.source).describe()} ⊑ "
+                            f"{attempt.node(exc.target).describe()}"
+                        ),
+                        reverse_path=_describe_path(attempt, path),
+                    )
+                )
+                continue
+            except AtomicityViolation as exc:
+                cause = exc.__cause__
+                if isinstance(cause, CycleError):
+                    path = attempt.find_path(cause.target, cause.source) or []
+                    contradictions.append(
+                        Contradiction(
+                            assignment=bound,
+                            obligation=(
+                                f"{attempt.node(cause.source).describe()} ⊑ "
+                                f"{attempt.node(cause.target).describe()}"
+                            ),
+                            reverse_path=_describe_path(attempt, path),
+                        )
+                    )
+                else:  # pragma: no cover - closure always chains CycleError
+                    contradictions.append(
+                        Contradiction(bound, str(exc), "(no path available)")
+                    )
+                continue
+            if search(attempt, remaining[1:], bound):
+                found_any = True
+                return True
+        return found_any
+
+    observable = search(base_graph, loads, {})
+    return Explanation(
+        forbidden=not observable,
+        model_name=model.name,
+        contradictions=contradictions,
+    )

@@ -1,0 +1,167 @@
+"""Minimal fence synthesis.
+
+Shasha & Snir [27] (paper §7) compute which program orderings are
+"involved in potential cycles and are therefore actually necessary";
+everything else may be left to a weaker memory system.  This module does
+the converse, as a verification-driven search: given a litmus condition
+that must be *forbidden* and a memory model, find the minimal sets of
+full-fence insertions that forbid it — by exhaustively enumerating
+behaviors of each fenced variant.
+
+The result is model-dependent in exactly the way hardware folklore says:
+MP needs two fences under WEAK but only the writer-side fence under PSO,
+SB needs one per thread everywhere weaker than SC, and so on — the
+TAB-FENCESYNTH experiment pins those down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
+from repro.isa.instructions import Fence
+from repro.isa.program import Program, Thread
+from repro.litmus.conditions import Condition
+from repro.litmus.finalstate import realizable_final_memory
+from repro.litmus.test import LitmusTest
+from repro.models.base import MemoryModel
+from repro.models.registry import get_model
+
+
+@dataclass(frozen=True, order=True)
+class FenceSite:
+    """A fence insertion point: before instruction ``position`` of
+    ``thread`` (so ``position`` ranges over 1..len(code)-1)."""
+
+    thread: str
+    position: int
+
+    def __str__(self) -> str:
+        return f"{self.thread}@{self.position}"
+
+
+def candidate_sites(program: Program) -> tuple[FenceSite, ...]:
+    """All gaps between consecutive instructions where at least one
+    neighbor is a memory operation (fences elsewhere cannot matter)."""
+    sites = []
+    for thread in program.threads:
+        for position in range(1, len(thread.code)):
+            before = thread.code[position - 1]
+            after = thread.code[position]
+            if before.op_class.is_memory() or after.op_class.is_memory():
+                if not isinstance(before, Fence) and not isinstance(after, Fence):
+                    sites.append(FenceSite(thread.name, position))
+    return tuple(sites)
+
+
+def insert_fences(program: Program, sites: tuple[FenceSite, ...]) -> Program:
+    """A copy of ``program`` with full fences inserted at ``sites``."""
+    by_thread: dict[str, list[int]] = {}
+    for site in sites:
+        by_thread.setdefault(site.thread, []).append(site.position)
+    threads = []
+    for thread in program.threads:
+        positions = sorted(by_thread.get(thread.name, []), reverse=True)
+        code = list(thread.code)
+        labels = dict(thread.labels)
+        for position in positions:
+            code.insert(position, Fence())
+            labels = {
+                name: (index + 1 if index >= position else index)
+                for name, index in labels.items()
+            }
+        threads.append(Thread(thread.name, tuple(code), labels))
+    return Program(tuple(threads), dict(program.initial_memory), program.name)
+
+
+def _condition_forbidden(
+    program: Program,
+    condition: Condition,
+    model: MemoryModel,
+    limits: EnumerationLimits | None,
+) -> bool:
+    result = enumerate_behaviors(program, model, limits)
+    locations = condition.locations()
+    for execution in result.executions:
+        registers = execution.final_registers()
+        for assignment in realizable_final_memory(execution, locations):
+            if condition.holds_in(registers, assignment):
+                return False
+    return True
+
+
+@dataclass
+class FenceSynthesisResult:
+    """Minimal fence placements forbidding the condition."""
+
+    test_name: str
+    model_name: str
+    sites: tuple[FenceSite, ...]  #: the candidate insertion points
+    solutions: list[tuple[FenceSite, ...]]  #: all minimum-size solutions
+    already_forbidden: bool = False
+    subsets_checked: int = 0
+
+    @property
+    def fence_count(self) -> int | None:
+        """Size of the minimal solutions (0 when already forbidden,
+        None when no placement works)."""
+        if self.already_forbidden:
+            return 0
+        if not self.solutions:
+            return None
+        return len(self.solutions[0])
+
+    def summary(self) -> str:
+        if self.already_forbidden:
+            return (
+                f"{self.test_name} under {self.model_name}: already forbidden "
+                f"(0 fences needed)"
+            )
+        if not self.solutions:
+            return (
+                f"{self.test_name} under {self.model_name}: NO fence placement "
+                f"forbids the outcome"
+            )
+        rendered = " | ".join(
+            "{" + ", ".join(str(site) for site in solution) + "}"
+            for solution in self.solutions
+        )
+        return (
+            f"{self.test_name} under {self.model_name}: {self.fence_count} "
+            f"fence(s) suffice; minimal placements: {rendered}"
+        )
+
+
+def synthesize_fences(
+    test: LitmusTest,
+    model: MemoryModel | str,
+    limits: EnumerationLimits | None = None,
+    max_fences: int | None = None,
+) -> FenceSynthesisResult:
+    """Find all minimum-size full-fence insertions making the test's
+    condition unobservable under ``model``.
+
+    Intended for ``exists`` conditions describing a forbidden relaxed
+    outcome; searches subsets of insertion points by increasing size and
+    stops at the first size admitting a solution.
+    """
+    if isinstance(model, str):
+        model = get_model(model)
+    sites = candidate_sites(test.program)
+    result = FenceSynthesisResult(test.name, model.name, sites, [])
+
+    if _condition_forbidden(test.program, test.condition, model, limits):
+        result.already_forbidden = True
+        return result
+
+    budget = len(sites) if max_fences is None else min(max_fences, len(sites))
+    for size in range(1, budget + 1):
+        for subset in combinations(sites, size):
+            result.subsets_checked += 1
+            fenced = insert_fences(test.program, subset)
+            if _condition_forbidden(fenced, test.condition, model, limits):
+                result.solutions.append(subset)
+        if result.solutions:
+            break
+    return result

@@ -1,0 +1,382 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro models                      # list memory models
+    python -m repro models --table weak         # render a Figure-1 table
+    python -m repro run SB --model tso          # run a library litmus test
+    python -m repro run my_test.litmus -m weak  # ... or a file
+    python -m repro run SB -m weak --dot sb.dot # emit a Graphviz graph
+    python -m repro enumerate MP -m weak --graphs 2
+    python -m repro matrix --models sc,tso,weak
+    python -m repro wellsync MP -m weak --sync flag
+    python -m repro experiments --markdown EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.analysis.wellsync import check_well_synchronized
+from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
+from repro.experiments.fig1 import render_table
+from repro.litmus.library import all_tests, get_test, test_names
+from repro.litmus.runner import format_matrix, run_litmus, run_matrix
+from repro.litmus.test import LitmusTest, litmus_from_source
+from repro.models.registry import available_models, get_model
+from repro.viz.dot import to_dot
+
+
+def _load_test(spec: str) -> LitmusTest:
+    """Resolve a test spec: a library name, or a path to a litmus file."""
+    path = Path(spec)
+    if path.exists():
+        return litmus_from_source(path.read_text(encoding="utf-8"))
+    try:
+        return get_test(spec)
+    except ReproError:
+        known = ", ".join(test_names())
+        raise ReproError(
+            f"{spec!r} is neither a readable file nor a library test; "
+            f"library tests: {known}"
+        ) from None
+
+
+def _limits(args: argparse.Namespace) -> EnumerationLimits:
+    return EnumerationLimits(max_nodes_per_thread=args.max_nodes)
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    if args.explain:
+        from repro.models.doc import model_card
+
+        print(model_card(args.explain).render())
+        return 0
+    if args.table:
+        print(render_table(get_model(args.table)))
+        return 0
+    for name in available_models():
+        model = get_model(name)
+        print(f"{name:<12} {model.description}")
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.isa.lint import lint_program
+
+    test = _load_test(args.test)
+    findings = lint_program(test.program)
+    if not findings:
+        print(f"{test.name}: no findings")
+        return 0
+    for finding in findings:
+        print(f"{test.name}: {finding}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    test = _load_test(args.test)
+    exit_code = 0
+    for model_name in args.model:
+        verdict = run_litmus(test, model_name, _limits(args))
+        expectation = ""
+        if verdict.matches_expectation is False:
+            expectation = "  [UNEXPECTED]"
+            exit_code = 1
+        print(
+            f"{test.name} under {model_name}: {test.condition} -> "
+            f"{'Yes' if verdict.holds else 'No'} "
+            f"({verdict.executions} executions, "
+            f"{verdict.satisfied_pairs}/{verdict.total_pairs} final states match)"
+            f"{expectation}"
+        )
+    if args.dot:
+        result = enumerate_behaviors(test.program, get_model(args.model[0]), _limits(args))
+        witnesses = [
+            execution
+            for execution in result.executions
+            if test.condition.holds_in(execution.final_registers(), {})
+        ] or result.executions
+        Path(args.dot).write_text(
+            to_dot(witnesses[0].graph, title=f"{test.name} / {args.model[0]}"),
+            encoding="utf-8",
+        )
+        print(f"wrote {args.dot}")
+    return exit_code
+
+
+def cmd_enumerate(args: argparse.Namespace) -> int:
+    test = _load_test(args.test)
+    result = enumerate_behaviors(test.program, get_model(args.model[0]), _limits(args))
+    print(
+        f"{test.name} under {args.model[0]}: {len(result)} distinct executions "
+        f"(explored {result.stats.explored} behaviors, "
+        f"{result.stats.duplicates} duplicates discarded, "
+        f"{result.stats.rolled_back} rolled back)"
+    )
+    for outcome in sorted(result.register_outcomes(), key=repr):
+        rendered = "  ".join(
+            f"{thread}:{register}={value}"
+            for (thread, register), value in sorted(outcome, key=repr)
+        )
+        print(f"  {rendered}")
+    if args.graphs:
+        from repro.viz.ascii import render
+
+        for execution in result.executions[: args.graphs]:
+            print()
+            print(render(execution.graph))
+    return 0
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    models = tuple(args.models.split(","))
+    tests = (
+        [get_test(name) for name in args.tests.split(",")] if args.tests else all_tests()
+    )
+    verdicts = run_matrix(tests, models, _limits(args))
+    print(format_matrix(verdicts))
+    mismatches = [v for v in verdicts if v.matches_expectation is False]
+    if mismatches:
+        print(f"\n{len(mismatches)} verdicts differ from expectations:")
+        for verdict in mismatches:
+            print(f"  {verdict.summary()}")
+        return 1
+    return 0
+
+
+def cmd_wellsync(args: argparse.Namespace) -> int:
+    test = _load_test(args.test)
+    sync = frozenset(args.sync.split(",")) if args.sync else frozenset()
+    report = check_well_synchronized(test.program, args.model[0], sync, _limits(args))
+    print(report.summary())
+    return 0 if report.well_synchronized else 1
+
+
+def cmd_robust(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import check_robustness
+
+    test = _load_test(args.test)
+    report = check_robustness(test.program, args.model[0], _limits(args))
+    print(report.summary())
+    return 0 if report.robust else 1
+
+
+def cmd_delays(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import check_robustness
+    from repro.analysis.delays import delay_set, fence_delays
+
+    test = _load_test(args.test)
+    report = delay_set(test.program)
+    print(report.summary())
+    if args.verify:
+        fenced = fence_delays(test.program, report)
+        robust = check_robustness(fenced, args.model[0], _limits(args))
+        print(f"after fencing the delays: {robust.summary()}")
+        return 0 if robust.robust else 1
+    return 0
+
+
+def cmd_fences(args: argparse.Namespace) -> int:
+    from repro.analysis.fencesynth import synthesize_fences
+
+    test = _load_test(args.test)
+    synthesis = synthesize_fences(
+        test, args.model[0], _limits(args), max_fences=args.max_fences
+    )
+    print(synthesis.summary())
+    return 0 if synthesis.fence_count is not None else 1
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.litmus.generator import EdgeKindSpec, generate, predict_verdict
+
+    by_name = {kind.value: kind for kind in EdgeKindSpec}
+    try:
+        cycle = [by_name[name] for name in args.edges]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown edge {exc.args[0]!r}; known edges: {', '.join(by_name)}"
+        ) from None
+    generated = generate(cycle)
+    print(generated.test.program)
+    print(f"condition: {generated.test.condition}")
+    for model_name in args.model:
+        predicted = predict_verdict(generated, model_name)
+        observed = run_litmus(generated.test, model_name, _limits(args)).holds
+        print(
+            f"  {model_name:<10} predicted {'Yes' if predicted else 'No ':<4}"
+            f"observed {'Yes' if observed else 'No'}"
+        )
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.isa.disassembler import export_library
+
+    written = export_library(args.out)
+    print(f"wrote {len(written)} .litmus files to {args.out}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.analysis.explain import explain_trace, trace_from_litmus
+
+    test = _load_test(args.test)
+    trace = trace_from_litmus(test)
+    explanation = explain_trace(trace, args.model[0])
+    print(f"{test.name}: {test.condition}")
+    print(explanation.render())
+    return 0 if explanation.forbidden else 1
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.artifacts import write_figures
+
+    for path in write_figures(args.out):
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.report import main as report_main
+
+    argv = ["--markdown", args.markdown] if args.markdown else []
+    return report_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory Model = Instruction Reordering + Store Atomicity "
+        "(ISCA 2006) — behavior enumerator and litmus runner.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, multi_model: bool = True) -> None:
+        p.add_argument(
+            "--model",
+            "-m",
+            action="append" if multi_model else "store",
+            default=None,
+            help="memory model name (repeatable)" if multi_model else "memory model",
+        )
+        p.add_argument(
+            "--max-nodes",
+            type=int,
+            default=64,
+            help="dynamic-instruction bound per thread (loop guard)",
+        )
+
+    p_models = sub.add_parser("models", help="list models / render a reordering table")
+    p_models.add_argument("--table", metavar="MODEL", help="render MODEL's Figure-1 table")
+    p_models.add_argument(
+        "--explain",
+        metavar="MODEL",
+        help="full model card: table, flags, litmus signature (enumerated live)",
+    )
+    p_models.set_defaults(func=cmd_models)
+
+    p_lint = sub.add_parser("lint", help="static sanity checks on a test")
+    p_lint.add_argument("test")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_run = sub.add_parser("run", help="run a litmus test (library name or file)")
+    p_run.add_argument("test")
+    add_common(p_run)
+    p_run.add_argument("--dot", metavar="PATH", help="write a witness graph as Graphviz")
+    p_run.set_defaults(func=cmd_run)
+
+    p_enum = sub.add_parser("enumerate", help="enumerate all behaviors of a test")
+    p_enum.add_argument("test")
+    add_common(p_enum)
+    p_enum.add_argument("--graphs", type=int, default=0, help="print the first N graphs")
+    p_enum.set_defaults(func=cmd_enumerate)
+
+    p_matrix = sub.add_parser("matrix", help="run the litmus × model matrix")
+    p_matrix.add_argument("--models", default="sc,tso,pso,weak,weak-corr")
+    p_matrix.add_argument("--tests", default=None, help="comma-separated test names")
+    p_matrix.add_argument("--max-nodes", type=int, default=64)
+    p_matrix.set_defaults(func=cmd_matrix)
+
+    p_ws = sub.add_parser("wellsync", help="check the §8 well-sync discipline")
+    p_ws.add_argument("test")
+    add_common(p_ws)
+    p_ws.add_argument("--sync", default="", help="comma-separated sync locations")
+    p_ws.set_defaults(func=cmd_wellsync)
+
+    p_robust = sub.add_parser(
+        "robust", help="check SC-robustness of a test under a weak model"
+    )
+    p_robust.add_argument("test")
+    add_common(p_robust)
+    p_robust.set_defaults(func=cmd_robust)
+
+    p_delays = sub.add_parser(
+        "delays", help="Shasha-Snir delay-set analysis of a test"
+    )
+    p_delays.add_argument("test")
+    add_common(p_delays)
+    p_delays.add_argument(
+        "--verify",
+        action="store_true",
+        help="also fence the delays and verify SC-robustness by enumeration",
+    )
+    p_delays.set_defaults(func=cmd_delays)
+
+    p_fences = sub.add_parser("fences", help="synthesize minimal fences")
+    p_fences.add_argument("test")
+    add_common(p_fences)
+    p_fences.add_argument("--max-fences", type=int, default=None)
+    p_fences.set_defaults(func=cmd_fences)
+
+    p_gen = sub.add_parser(
+        "generate", help="synthesize a litmus test from a critical cycle"
+    )
+    p_gen.add_argument("edges", nargs="+", help="e.g. Fre PodWR Fre PodWR")
+    add_common(p_gen)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_export = sub.add_parser(
+        "export", help="write the whole litmus library as .litmus files"
+    )
+    p_export.add_argument("--out", default="litmus", help="output directory")
+    p_export.set_defaults(func=cmd_export)
+
+    p_explain = sub.add_parser(
+        "explain", help="explain WHY a test's condition is (un)observable"
+    )
+    p_explain.add_argument("test")
+    add_common(p_explain)
+    p_explain.set_defaults(func=cmd_explain)
+
+    p_fig = sub.add_parser(
+        "figures", help="write every paper figure as a Graphviz .dot file"
+    )
+    p_fig.add_argument("--out", default="figures", help="output directory")
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_exp = sub.add_parser("experiments", help="run every paper experiment")
+    p_exp.add_argument("--markdown", metavar="PATH", help="also write EXPERIMENTS.md")
+    p_exp.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "model", None) is None and hasattr(args, "model"):
+        args.model = ["weak"]
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""MSI cache-coherence substrate and Store Atomicity conformance."""
+
+from repro.coherence.checker import ConformanceReport, verify_run
+from repro.coherence.machine import CoherentMachine, CoherentRun, run_coherent
+from repro.coherence.mesi import MesiController
+from repro.coherence.protocol import CoherenceController, LineState, ProtocolEdge
+
+__all__ = [
+    "MesiController",
+    "ConformanceReport",
+    "verify_run",
+    "CoherentMachine",
+    "CoherentRun",
+    "run_coherent",
+    "CoherenceController",
+    "LineState",
+    "ProtocolEdge",
+]

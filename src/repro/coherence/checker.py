@@ -1,0 +1,67 @@
+"""Conformance checking of protocol runs (paper Section 4.2).
+
+A run of the MSI machine carries an execution graph whose edges are the
+protocol's eager orderings.  The checker confirms the paper's claim:
+
+* the graph satisfies Store Atomicity declaratively (the protocol's
+  conservative orderings subsume the rules a/b/c),
+* the run is serializable, and
+* for in-order cores, the final state is one the SC interleaving
+  machine can produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.atomicity import check_store_atomicity
+from repro.core.serialization import find_serialization
+from repro.coherence.machine import CoherentRun
+from repro.operational.sc import run_sc
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """The verdict for one coherent run."""
+
+    atomicity_violations: tuple[str, ...]
+    serializable: bool
+    sc_outcome: bool | None  #: None when SC outcomes were not supplied/computed
+
+    @property
+    def conforms(self) -> bool:
+        return (
+            not self.atomicity_violations
+            and self.serializable
+            and self.sc_outcome is not False
+        )
+
+    def summary(self) -> str:
+        bits = [
+            f"store-atomicity: {'ok' if not self.atomicity_violations else 'VIOLATED'}",
+            f"serializable: {'yes' if self.serializable else 'NO'}",
+        ]
+        if self.sc_outcome is not None:
+            bits.append(f"SC outcome: {'yes' if self.sc_outcome else 'NO'}")
+        return ", ".join(bits)
+
+
+def verify_run(
+    run: CoherentRun,
+    sc_outcomes: frozenset | None = None,
+    check_sc: bool = True,
+) -> ConformanceReport:
+    """Check one run; pass precomputed ``sc_outcomes`` to amortize the SC
+    enumeration across many seeds."""
+    violations = tuple(check_store_atomicity(run.graph))
+    witness = find_serialization(run)
+    sc_ok: bool | None = None
+    if check_sc:
+        if sc_outcomes is None:
+            sc_outcomes = run_sc(run.program).outcomes
+        sc_ok = run.registers in sc_outcomes
+    return ConformanceReport(
+        atomicity_violations=violations,
+        serializable=witness is not None,
+        sc_outcome=sc_ok,
+    )

@@ -1,0 +1,222 @@
+"""A multiprocessor of in-order cores over the MSI protocol.
+
+Each core executes its thread's instructions in program order; memory
+operations go through the :class:`CoherenceController`, which imposes
+eager ordering edges.  The machine records everything as an execution
+graph, so a run can be checked against Store Atomicity and SC
+(Section 4.2: "Showing that a particular architecture obeys a particular
+memory model ... identify all sources of ordering constraints, make sure
+they are reflected in the ⊑ ordering").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import CoherenceError, EnumerationError
+from repro.core.graph import EdgeKind, ExecutionGraph
+from repro.core.node import INIT_TID, Node
+from repro.isa.instructions import Fence, Load, OpClass, Rmw, Store
+from repro.isa.operands import Value
+from repro.isa.program import Program
+from repro.coherence.protocol import CoherenceController, ProtocolEdge
+from repro.operational.state import (
+    ArchThreadState,
+    final_registers,
+    resolve_address,
+    rmw_apply,
+    step_local,
+)
+
+_EDGE_KIND = {
+    "ownership-transfer": EdgeKind.IMPOSED,
+    "invalidation": EdgeKind.IMPOSED,
+    "copy-from-owner": EdgeKind.SOURCE,
+}
+
+
+@dataclass
+class CoherentRun:
+    """The artifact of one machine run: graph + final state + trace."""
+
+    program: Program
+    graph: ExecutionGraph
+    registers: frozenset  #: ((thread, register), value) items
+    schedule: tuple[int, ...]  #: thread id executed at each step
+    transactions: int
+    protocol_edges: tuple[ProtocolEdge, ...]
+
+    class _PseudoModel:
+        name = "msi-coherence"
+
+    #: Duck-typing shim so serialization/atomicity helpers that expect an
+    #: Execution-shaped object accept a CoherentRun.
+    model = _PseudoModel()
+
+    def final_register_dict(self) -> dict:
+        return dict(self.registers)
+
+
+class CoherentMachine:
+    """Drives a program over in-order cores + coherent caches.
+
+    ``protocol`` selects the coherence protocol: ``"msi"`` (default) or
+    ``"mesi"`` (adds the Exclusive state with silent E→M upgrades).
+    """
+
+    def __init__(
+        self, program: Program, seed: int | None = None, protocol: str = "msi"
+    ) -> None:
+        self.program = program
+        self.rng = random.Random(seed)
+        self.graph = ExecutionGraph()
+        self.protocol_edges: list[ProtocolEdge] = []
+        self._init_nodes: dict[str, int] = {}
+        self._last_node: list[int | None] = [None] * len(program.threads)
+        self._node_counts: list[int] = [0] * len(program.threads)
+        self._create_init_stores()
+        if protocol == "msi":
+            controller_class = CoherenceController
+        elif protocol == "mesi":
+            from repro.coherence.mesi import MesiController
+
+            controller_class = MesiController
+        else:
+            raise CoherenceError(f"unknown protocol {protocol!r} (msi or mesi)")
+        self.controller = controller_class(
+            cache_count=len(program.threads),
+            initial={loc: program.initial_value(loc) for loc in program.locations()},
+            init_nodes=self._init_nodes,
+        )
+
+    def _create_init_stores(self) -> None:
+        for index, location in enumerate(self.program.locations()):
+            node = Node(
+                nid=len(self.graph),
+                tid=INIT_TID,
+                index=index,
+                instruction=None,
+                op_class=OpClass.STORE,
+                executed=True,
+                writes=True,
+                addr=location,
+                stored=self.program.initial_value(location),
+                value=self.program.initial_value(location),
+            )
+            self.graph.add_node(node)
+            self._init_nodes[location] = node.nid
+
+    def _new_node(self, tid: int, instruction) -> Node:
+        node = Node(
+            nid=len(self.graph),
+            tid=tid,
+            index=self._node_counts[tid],
+            instruction=instruction,
+            op_class=instruction.op_class,
+        )
+        self.graph.add_node(node)
+        self._node_counts[tid] += 1
+        for init_nid in self._init_nodes.values():
+            self.graph.add_edge(init_nid, node.nid, EdgeKind.INIT)
+        previous = self._last_node[tid]
+        if previous is not None:
+            # In-order core: full program order between memory operations.
+            self.graph.add_edge(previous, node.nid, EdgeKind.PROGRAM)
+        self._last_node[tid] = node.nid
+        return node
+
+    def _apply_edges(self, edges: list[ProtocolEdge]) -> None:
+        for edge in edges:
+            self.protocol_edges.append(edge)
+            if edge.before != edge.after:
+                self.graph.add_edge(edge.before, edge.after, _EDGE_KIND[edge.reason])
+
+    def run(self, max_steps: int = 10_000) -> CoherentRun:
+        """Execute to completion under a (seeded) random schedule."""
+        states = [ArchThreadState() for _ in self.program.threads]
+        schedule: list[int] = []
+        steps = 0
+        while True:
+            runnable = [
+                tid
+                for tid, state in enumerate(states)
+                if not state.done(self.program.threads[tid])
+            ]
+            if not runnable:
+                break
+            steps += 1
+            if steps > max_steps:
+                raise EnumerationError(f"coherent machine exceeded {max_steps} steps")
+            tid = self.rng.choice(runnable)
+            schedule.append(tid)
+            states[tid] = self._step(tid, states[tid])
+
+        return CoherentRun(
+            program=self.program,
+            graph=self.graph,
+            registers=final_registers(self.program, tuple(states)),
+            schedule=tuple(schedule),
+            transactions=self.controller.transactions,
+            protocol_edges=tuple(self.protocol_edges),
+        )
+
+    def _step(self, tid: int, state: ArchThreadState) -> ArchThreadState:
+        thread = self.program.threads[tid]
+        instruction = state.current(thread)
+
+        local = step_local(state, thread, instruction)
+        if local is not None:
+            return local
+        if isinstance(instruction, Fence):
+            # In-order cores already execute memory operations in program
+            # order; fences are no-ops here.
+            return state.advance(state.pc + 1)
+
+        if isinstance(instruction, Load):
+            address = resolve_address(state, instruction.addr)
+            node = self._new_node(tid, instruction)
+            node.addr = address
+            value, source, edges = self.controller.read(tid, address, node.nid)
+            node.value = value
+            node.source = source
+            node.executed = True
+            self._apply_edges(edges)
+            return state.write(instruction.dst, value).advance(state.pc + 1)
+
+        if isinstance(instruction, Store):
+            address = resolve_address(state, instruction.addr)
+            value = state.operand(instruction.value)
+            node = self._new_node(tid, instruction)
+            node.addr = address
+            node.stored = value
+            node.value = value
+            node.writes = True
+            node.executed = True
+            self._apply_edges(self.controller.write(tid, address, value, node.nid))
+            return state.advance(state.pc + 1)
+
+        if isinstance(instruction, Rmw):
+            address = resolve_address(state, instruction.addr)
+            node = self._new_node(tid, instruction)
+            node.addr = address
+            old, source, read_edges = self.controller.read(tid, address, node.nid)
+            node.value = old
+            node.source = source
+            node.executed = True
+            self._apply_edges(read_edges)
+            next_state, stored = rmw_apply(state, instruction, old)
+            if stored is not None:
+                node.stored = stored
+                node.writes = True
+                self._apply_edges(self.controller.write(tid, address, stored, node.nid))
+            return next_state
+
+        raise CoherenceError(f"coherent machine cannot execute {instruction}")
+
+
+def run_coherent(
+    program: Program, seed: int | None = None, protocol: str = "msi"
+) -> CoherentRun:
+    """Convenience: build a machine and run it once."""
+    return CoherentMachine(program, seed, protocol).run()

@@ -1,0 +1,114 @@
+"""MESI: MSI plus the Exclusive state (silent upgrade optimization).
+
+A read miss that finds no other valid copy installs the line EXCLUSIVE;
+a subsequent write by the same cache upgrades E→M *silently* — no bus
+transaction, because no other copy can exist.  The ordering edges are
+identical to MSI's (the silent upgrade still orders the store after the
+previous writer and after prior readers of the old version), so MESI is
+the same conservative approximation of Store Atomicity with a cheaper
+implementation — exactly the §4.2 framing: protocols differ in how
+eagerly they impose orderings and at what cost, not in the memory model
+they realize.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CoherenceError
+from repro.isa.operands import Value
+from repro.coherence.protocol import CoherenceController, LineState, ProtocolEdge
+
+#: Extra line state (module-level so callers can introspect runs).
+EXCLUSIVE = "E"
+
+
+class MesiController(CoherenceController):
+    """Directory-based MESI over ``cache_count`` caches."""
+
+    def __init__(self, cache_count: int, initial: dict[str, Value], init_nodes: dict[str, int]) -> None:
+        super().__init__(cache_count, initial, init_nodes)
+        #: caches holding a line EXCLUSIVE (clean, sole copy)
+        self._exclusive: dict[str, int | None] = {location: None for location in initial}
+        self.silent_upgrades = 0
+
+    def is_exclusive(self, cache: int, location: str) -> bool:
+        """Whether ``cache`` holds ``location`` in the E state.  (The base
+        state table reports E lines as SHARED; exclusivity is tracked in
+        the directory, as real MESI directories do.)"""
+        return self._exclusive.get(location) == cache
+
+    def _holders(self, location: str) -> list[int]:
+        return [
+            cache
+            for cache in range(self.cache_count)
+            if self._states[(cache, location)] is not LineState.INVALID
+        ]
+
+    def read(self, cache: int, location: str, nid: int):
+        line = self._line(location)
+        state = self._states[(cache, location)]
+        if state is LineState.INVALID:
+            holders = self._holders(location)
+            if line.owner is not None and line.owner != cache:
+                # Downgrade the dirty owner; both become SHARED.
+                self._states[(line.owner, location)] = LineState.SHARED
+                line.sharers.add(line.owner)
+                line.owner = None
+                self._exclusive[location] = None
+            exclusive_holder = self._exclusive.get(location)
+            if exclusive_holder is not None and exclusive_holder != cache:
+                # A clean exclusive copy elsewhere degrades to SHARED.
+                self._states[(exclusive_holder, location)] = LineState.SHARED
+                line.sharers.add(exclusive_holder)
+                self._exclusive[location] = None
+                holders = self._holders(location)
+            if not holders:
+                # Sole copy: install EXCLUSIVE (the MESI optimization).
+                self._states[(cache, location)] = LineState.SHARED
+                self._exclusive[location] = cache
+            else:
+                self._states[(cache, location)] = LineState.SHARED
+            line.sharers.add(cache)
+            self.transactions += 1
+        edges = [ProtocolEdge(line.last_writer, nid, "copy-from-owner")]
+        line.readers_since_write.append(nid)
+        self._check_invariants(location)
+        self._check_exclusive_invariant(location)
+        return line.value, line.last_writer, edges
+
+    def write(self, cache: int, location: str, value: Value, nid: int):
+        line = self._line(location)
+        edges = [ProtocolEdge(line.last_writer, nid, "ownership-transfer")]
+        edges.extend(
+            ProtocolEdge(reader, nid, "invalidation")
+            for reader in line.readers_since_write
+            if reader != nid
+        )
+        silently = self._exclusive.get(location) == cache
+        for other in range(self.cache_count):
+            if other != cache:
+                self._states[(other, location)] = LineState.INVALID
+        line.sharers = {cache}
+        line.owner = cache
+        self._exclusive[location] = None
+        self._states[(cache, location)] = LineState.MODIFIED
+        line.value = value
+        line.last_writer = nid
+        line.readers_since_write = []
+        if silently:
+            self.silent_upgrades += 1  # E→M upgrade: no bus transaction
+        else:
+            self.transactions += 1
+        self._check_invariants(location)
+        self._check_exclusive_invariant(location)
+        return edges
+
+    def _check_exclusive_invariant(self, location: str) -> None:
+        holder = self._exclusive.get(location)
+        if holder is None:
+            return
+        others = [cache for cache in self._holders(location) if cache != holder]
+        if others:
+            raise CoherenceError(
+                f"{location!r}: EXCLUSIVE in cache {holder} coexists with "
+                f"copies in {others}"
+            )

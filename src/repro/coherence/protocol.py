@@ -1,0 +1,166 @@
+"""An ownership-based MSI cache-coherence protocol (paper Section 4.2).
+
+    "We can view a cache coherence protocol as a conservative
+    approximation to Store Atomicity.  Ordering constraints are inserted
+    eagerly, imposing a well-defined order for memory operations even
+    when the exact order is not observed by any thread."
+
+The controller models a directory-based MSI protocol at the granularity
+of atomic bus transactions:
+
+* a **Store** obtains ownership (M), invalidating every sharer and the
+  previous owner — ordering the store after the previous owner's store
+  (ownership transfer) and after every load that used a now-invalidated
+  copy,
+* a **Load** obtains a copy (S) from the current owner or memory —
+  ordering the load after the owner's store.
+
+Those three eager ordering sources are exactly the paper's description;
+the controller reports them as edges so the machine can build an
+execution graph and the checker can confirm they over-approximate Store
+Atomicity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CoherenceError
+from repro.isa.operands import Value
+
+
+class LineState(enum.Enum):
+    MODIFIED = "M"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass(frozen=True)
+class ProtocolEdge:
+    """An ordering constraint the protocol imposes: ``before -> after``."""
+
+    before: int  #: node id
+    after: int  #: node id
+    reason: str  #: "ownership-transfer" | "invalidation" | "copy-from-owner"
+
+
+@dataclass
+class _LineInfo:
+    """Directory + graph bookkeeping for one memory location."""
+
+    value: Value
+    last_writer: int  #: node id of the store that produced ``value``
+    readers_since_write: list[int] = field(default_factory=list)
+    owner: int | None = None  #: cache id in MODIFIED, or None (memory owns)
+    sharers: set[int] = field(default_factory=set)
+
+
+class CoherenceController:
+    """Directory-based MSI over ``cache_count`` caches."""
+
+    def __init__(
+        self,
+        cache_count: int,
+        initial: dict[str, Value],
+        init_nodes: dict[str, int],
+    ) -> None:
+        if cache_count < 1:
+            raise CoherenceError("need at least one cache")
+        self.cache_count = cache_count
+        self._lines: dict[str, _LineInfo] = {
+            location: _LineInfo(value=value, last_writer=init_nodes[location])
+            for location, value in initial.items()
+        }
+        self._states: dict[tuple[int, str], LineState] = {
+            (cache, location): LineState.INVALID
+            for cache in range(cache_count)
+            for location in initial
+        }
+        self.transactions = 0
+
+    def _line(self, location: str) -> _LineInfo:
+        try:
+            return self._lines[location]
+        except KeyError:
+            raise CoherenceError(f"unknown location {location!r}") from None
+
+    def state(self, cache: int, location: str) -> LineState:
+        return self._states[(cache, location)]
+
+    # ------------------------------------------------------------------
+    # transactions
+
+    def read(self, cache: int, location: str, nid: int) -> tuple[Value, int, list[ProtocolEdge]]:
+        """A load by ``cache``; returns (value, source node, imposed edges)."""
+        line = self._line(location)
+        edges: list[ProtocolEdge] = []
+        state = self._states[(cache, location)]
+        if state is LineState.INVALID:
+            # Obtain a copy from the current owner (or memory): the owner's
+            # store is ordered before this load.
+            if line.owner is not None and line.owner != cache:
+                self._states[(line.owner, location)] = LineState.SHARED
+                line.sharers.add(line.owner)
+                line.owner = None
+            self._states[(cache, location)] = LineState.SHARED
+            line.sharers.add(cache)
+            self.transactions += 1
+        edges.append(ProtocolEdge(line.last_writer, nid, "copy-from-owner"))
+        line.readers_since_write.append(nid)
+        self._check_invariants(location)
+        return line.value, line.last_writer, edges
+
+    def write(self, cache: int, location: str, value: Value, nid: int) -> list[ProtocolEdge]:
+        """A store by ``cache``; returns the imposed ordering edges."""
+        line = self._line(location)
+        edges: list[ProtocolEdge] = [
+            ProtocolEdge(line.last_writer, nid, "ownership-transfer")
+        ]
+        edges.extend(
+            ProtocolEdge(reader, nid, "invalidation")
+            for reader in line.readers_since_write
+            if reader != nid
+        )
+        # Revoke all other copies.
+        for other in range(self.cache_count):
+            if other != cache:
+                self._states[(other, location)] = LineState.INVALID
+        line.sharers = {cache}
+        line.owner = cache
+        self._states[(cache, location)] = LineState.MODIFIED
+        line.value = value
+        line.last_writer = nid
+        line.readers_since_write = []
+        self.transactions += 1
+        self._check_invariants(location)
+        return edges
+
+    # ------------------------------------------------------------------
+    # invariants
+
+    def _check_invariants(self, location: str) -> None:
+        line = self._line(location)
+        holders = [
+            cache
+            for cache in range(self.cache_count)
+            if self._states[(cache, location)] is not LineState.INVALID
+        ]
+        modified = [
+            cache
+            for cache in holders
+            if self._states[(cache, location)] is LineState.MODIFIED
+        ]
+        if len(modified) > 1:
+            raise CoherenceError(f"{location!r}: multiple MODIFIED holders {modified}")
+        if modified and len(holders) > 1:
+            raise CoherenceError(
+                f"{location!r}: MODIFIED in cache {modified[0]} coexists with "
+                f"copies in {holders}"
+            )
+        if line.owner is not None and self._states[(line.owner, location)] is not LineState.MODIFIED:
+            raise CoherenceError(f"{location!r}: directory owner is not MODIFIED")
+
+    def snapshot(self, location: str) -> Value:
+        """The canonical current value of a location."""
+        return self._line(location).value

@@ -1,0 +1,44 @@
+"""Core framework: execution graphs, Store Atomicity, enumeration."""
+
+from repro.core.atomicity import check_store_atomicity, close_store_atomicity
+from repro.core.candidates import candidate_stores
+from repro.core.enumerate import (
+    EnumerationLimits,
+    EnumerationResult,
+    EnumerationStats,
+    enumerate_behaviors,
+)
+from repro.core.execution import Execution, ThreadState, instruction_operands
+from repro.core.graph import ORDERING_KINDS, EdgeKind, ExecutionGraph, iter_bits
+from repro.core.node import INIT_TID, Node
+from repro.core.serialization import (
+    all_serializations,
+    always_before_pairs,
+    find_serialization,
+    is_serializable,
+    require_serializable,
+)
+
+__all__ = [
+    "check_store_atomicity",
+    "close_store_atomicity",
+    "candidate_stores",
+    "EnumerationLimits",
+    "EnumerationResult",
+    "EnumerationStats",
+    "enumerate_behaviors",
+    "Execution",
+    "ThreadState",
+    "instruction_operands",
+    "ORDERING_KINDS",
+    "EdgeKind",
+    "ExecutionGraph",
+    "iter_bits",
+    "INIT_TID",
+    "Node",
+    "all_serializations",
+    "always_before_pairs",
+    "find_serialization",
+    "is_serializable",
+    "require_serializable",
+]

@@ -1,0 +1,86 @@
+"""The candidate-store computation (paper Section 4).
+
+For each Load operation ``L``, ``candidates(L)`` is the set of all stores
+``S =a L`` such that:
+
+1. all prior Loads ``L' ⊑ S`` and Stores ``S' ⊑ S`` have been resolved,
+2. ``S`` has not been overwritten: there is no ``S' =a L`` with
+   ``S ⊑ S' ⊑ L``.
+
+Because memory is initialized with store operations, ``candidates(L)`` is
+never empty for an eligible load.  Note condition 1 also excludes any
+store ``⊑``-after ``L`` itself (``L`` is an unresolved prior load of such
+a store), so no explicit acyclicity check is needed.
+
+Bypass models (TSO/PSO) additionally restrict *local* candidates to the
+newest program-earlier same-address store — FIFO store-buffer forwarding
+(paper §6: "a Load which obtains its value from a local Store must be
+treated specially").
+"""
+
+from __future__ import annotations
+
+from repro.core.execution import Execution
+from repro.core.graph import iter_bits
+from repro.core.node import Node
+
+
+def candidate_stores(execution: Execution, load: Node) -> list[Node]:
+    """All stores the given (eligible, unresolved) load may observe."""
+    graph = execution.graph
+    address = load.addr
+    assert address is not None, "candidates require a resolved load address"
+
+    visible = [
+        node
+        for node in graph.nodes
+        if node.is_visible_store and node.addr == address and node.nid != load.nid
+    ]
+
+    result = []
+    for store in visible:
+        if not _priors_resolved(execution, store):
+            continue
+        if _overwritten(execution, store, load, visible):
+            continue
+        result.append(store)
+
+    if execution.model.store_load_bypass:
+        result = _filter_bypass(execution, load, result)
+    return result
+
+
+def _priors_resolved(execution: Execution, store: Node) -> bool:
+    """Condition 1: every memory operation ⊑-before the store is resolved."""
+    graph = execution.graph
+    for prior in iter_bits(graph.ancestors_mask(store.nid)):
+        node = graph.node(prior)
+        if node.is_memory and not node.executed:
+            return False
+    return True
+
+
+def _overwritten(
+    execution: Execution, store: Node, load: Node, visible: list[Node]
+) -> bool:
+    """Condition 2: ∃ S' =a L with S ⊑ S' ⊑ L."""
+    graph = execution.graph
+    for other in visible:
+        if other.nid == store.nid:
+            continue
+        if graph.before(store.nid, other.nid) and graph.before(other.nid, load.nid):
+            return True
+    return False
+
+
+def _filter_bypass(execution: Execution, load: Node, stores: list[Node]) -> list[Node]:
+    """Store-buffer forwarding: only the *newest* program-earlier local
+    same-address store can be forwarded; older buffered entries are
+    shadowed.  Remote stores remain candidates (they model the load
+    reading memory after the local stores drain)."""
+    locals_ = execution.local_earlier_stores(load, load.addr)
+    if not locals_:
+        return stores
+    newest_index = max(node.index for node in locals_)
+    shadowed = {node.nid for node in locals_ if node.index < newest_index}
+    return [store for store in stores if store.nid not in shadowed]

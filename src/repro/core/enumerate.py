@@ -1,0 +1,138 @@
+"""Enumerating program behaviors (paper Section 4).
+
+The driver maintains a set of current behaviors ``B``; at each step one
+behavior is refined: graph generation and dataflow execution run to a
+fixpoint (inside :meth:`Execution.stabilize`), then **Load Resolution**
+branches the behavior — for every eligible unresolved load ``L`` and
+every ``S ∈ candidates(L)``, a copy is created with ``source(L) = S``.
+
+"Load Resolution is the only place where our enumeration procedure may
+duplicate effort" — duplicates are discarded by comparing canonical
+behavior keys (and completed executions by their Load–Store graphs).
+
+Speculative executions whose deferred alias edges or atomicity closure
+become inconsistent are discarded: in an enumerative setting, a rolled
+back and re-tried load is exactly some other branch of the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AtomicityViolation, CycleError, EnumerationError
+from repro.core.candidates import candidate_stores
+from repro.core.execution import Execution
+from repro.isa.program import Program
+from repro.models.base import MemoryModel
+
+
+@dataclass(frozen=True)
+class EnumerationLimits:
+    """Resource limits guarding the search."""
+
+    max_behaviors: int = 1_000_000  #: distinct behavior states explored
+    max_executions: int = 100_000  #: distinct completed executions kept
+    max_nodes_per_thread: int = 64  #: dynamic-instruction bound (loops)
+
+
+@dataclass
+class EnumerationStats:
+    """Counters describing one enumeration run."""
+
+    explored: int = 0  #: behaviors popped from the worklist
+    resolutions: int = 0  #: (load, candidate) branches attempted
+    duplicates: int = 0  #: behaviors dropped by the canonical-key check
+    rolled_back: int = 0  #: speculation/bypass branches discarded (§5.2)
+    truncated: int = 0  #: branches dropped at the node limit
+    stuck: int = 0  #: incomplete behaviors with no eligible load (bug guard)
+    completed: int = 0  #: completed executions reached (pre-dedup)
+
+
+@dataclass
+class EnumerationResult:
+    """All distinct behaviors of a program under a model."""
+
+    program: Program
+    model: MemoryModel
+    executions: list[Execution]
+    stats: EnumerationStats = field(default_factory=EnumerationStats)
+
+    def register_outcomes(self) -> frozenset[frozenset]:
+        """The set of final-register outcomes over all executions.  Each
+        outcome is a frozenset of ((thread, register), value) items."""
+        return frozenset(
+            frozenset(execution.final_registers().items()) for execution in self.executions
+        )
+
+    def __len__(self) -> int:
+        return len(self.executions)
+
+
+def enumerate_behaviors(
+    program: Program,
+    model: MemoryModel,
+    limits: EnumerationLimits | None = None,
+    dedup: bool = True,
+) -> EnumerationResult:
+    """Enumerate all distinct executions of ``program`` under ``model``.
+
+    ``dedup=False`` disables the canonical-state deduplication of
+    in-flight behaviors (completed executions are still merged by their
+    Load–Store graphs).  The behavior set is unchanged; only the explored
+    state count grows — the ablation knob for §4.1's "We discard duplicate
+    behaviors from B at each Load Resolution step to avoid wasting effort".
+    """
+    limits = limits or EnumerationLimits()
+    stats = EnumerationStats()
+
+    initial = Execution.initial(program, model, limits.max_nodes_per_thread)
+    worklist: list[Execution] = [initial]
+    seen_states: set = {initial.state_key()}
+    finished: dict = {}
+
+    while worklist:
+        behavior = worklist.pop()
+        stats.explored += 1
+        if stats.explored > limits.max_behaviors:
+            raise EnumerationError(
+                f"exceeded {limits.max_behaviors} explored behaviors for "
+                f"{program.name!r} under {model.name}"
+            )
+
+        if behavior.completed():
+            stats.completed += 1
+            finished.setdefault(behavior.loadstore_key(), behavior)
+            if len(finished) > limits.max_executions:
+                raise EnumerationError(
+                    f"exceeded {limits.max_executions} distinct executions for "
+                    f"{program.name!r} under {model.name}"
+                )
+            continue
+
+        eligible = behavior.eligible_loads()
+        if not eligible:
+            stats.stuck += 1
+            continue
+
+        for load in eligible:
+            for store in candidate_stores(behavior, load):
+                stats.resolutions += 1
+                child = behavior.copy()
+                try:
+                    child.resolve_load(load.nid, store.nid)
+                except (CycleError, AtomicityViolation):
+                    stats.rolled_back += 1
+                    continue
+                except EnumerationError:
+                    stats.truncated += 1
+                    continue
+                if dedup:
+                    key = child.state_key()
+                    if key in seen_states:
+                        stats.duplicates += 1
+                        continue
+                    seen_states.add(key)
+                worklist.append(child)
+
+    executions = sorted(finished.values(), key=lambda e: repr(e.loadstore_key()))
+    return EnumerationResult(program, model, executions, stats)

@@ -1,0 +1,127 @@
+"""Dynamic instruction instances — the nodes of an execution graph.
+
+A :class:`Node` is one dynamically executed instruction.  Nodes start
+*unresolved* (paper Section 4: "When a node is generated, it is in an
+unresolved state") and become resolved/executed when their value can be
+computed — for Loads and Rmws this requires choosing a candidate store.
+
+Node identity is deterministic: ``(tid, index)`` — the thread and the
+dynamic position within that thread — so two executions of the same
+program are directly comparable node-by-node without graph isomorphism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.operands import Value
+
+#: Thread id used for the init pseudo-thread holding initializing stores.
+INIT_TID = -1
+
+
+@dataclass(slots=True)
+class Node:
+    """One dynamic instruction instance.
+
+    Fields fall into two groups — static (set at generation) and dynamic
+    (filled in as the node resolves):
+
+    Static:
+      * ``nid`` — the node's index in the graph (also its bit position in
+        reachability bitsets).
+      * ``tid`` / ``index`` — deterministic identity.
+      * ``instruction`` — the static instruction (None for init stores).
+      * ``op_class`` — cached instruction class.
+      * ``operand_sources`` — for each operand (in the instruction's
+        canonical operand order), the nid of the node producing its value,
+        or None when the operand is a constant or an unwritten register.
+
+    Dynamic:
+      * ``executed`` — value computed / load resolved / branch decided.
+      * ``value`` — the register-visible result (load result, ALU result,
+        branch condition value); for plain stores, mirrors ``stored``.
+      * ``addr`` — resolved memory address (memory ops only).
+      * ``source`` — nid of the observed store (loads/rmws only).
+      * ``writes`` — the store side is visible to memory (stores; rmws
+        when the write happens — a failed CAS does not write).
+      * ``stored`` — the value made visible to memory.
+    """
+
+    nid: int
+    tid: int
+    index: int
+    instruction: Instruction | None
+    op_class: OpClass
+    operand_sources: tuple[int | None, ...] = ()
+    executed: bool = False
+    value: Value | None = None
+    addr: Value | None = None
+    source: int | None = None
+    writes: bool = False
+    stored: Value | None = None
+
+    @property
+    def is_init(self) -> bool:
+        return self.tid == INIT_TID
+
+    @property
+    def reads_memory(self) -> bool:
+        return self.op_class in (OpClass.LOAD, OpClass.RMW)
+
+    @property
+    def writes_memory(self) -> bool:
+        """Whether the node *may* write memory (class-level, not outcome)."""
+        return self.op_class in (OpClass.STORE, OpClass.RMW)
+
+    @property
+    def is_memory(self) -> bool:
+        return self.reads_memory or self.writes_memory
+
+    @property
+    def resolved(self) -> bool:
+        """Synonym for executed, matching the paper's terminology for loads."""
+        return self.executed
+
+    @property
+    def is_visible_store(self) -> bool:
+        """True when this node has made a value visible to memory."""
+        return self.executed and self.writes
+
+    def clone(self) -> "Node":
+        """A field-for-field copy (values are immutable, so shallow)."""
+        return Node(
+            nid=self.nid,
+            tid=self.tid,
+            index=self.index,
+            instruction=self.instruction,
+            op_class=self.op_class,
+            operand_sources=self.operand_sources,
+            executed=self.executed,
+            value=self.value,
+            addr=self.addr,
+            source=self.source,
+            writes=self.writes,
+            stored=self.stored,
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable description, paper-style."""
+        who = "init" if self.is_init else f"T{self.tid}.{self.index}"
+        if self.is_init:
+            return f"[{who}] S {self.addr!r} := {self.stored!r}"
+        text = str(self.instruction)
+        bits = []
+        if self.addr is not None:
+            bits.append(f"addr={self.addr!r}")
+        if self.executed and self.value is not None:
+            bits.append(f"val={self.value!r}")
+        if self.source is not None:
+            bits.append(f"src=n{self.source}")
+        suffix = f" ({', '.join(bits)})" if bits else ""
+        state = "" if self.executed else " [unresolved]"
+        return f"[{who}] {text}{suffix}{state}"
+
+    def __str__(self) -> str:
+        return self.describe()

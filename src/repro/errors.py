@@ -1,0 +1,78 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ProgramError(ReproError):
+    """A program is malformed (bad operand, unknown label, duplicate label)."""
+
+
+class AssemblerError(ProgramError):
+    """The textual litmus/assembly format could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class ExecutionError(ReproError):
+    """A dynamic error occurred while executing an instruction (e.g. adding
+    an address to an integer, or loading from a non-address value)."""
+
+
+class GraphError(ReproError):
+    """An execution-graph invariant was violated (unknown node, bad edge)."""
+
+
+class CycleError(GraphError):
+    """Adding an edge would create a cycle in the execution graph.
+
+    A cycle means the requested ordering is inconsistent: in speculative
+    executions this signals that the speculation failed and the behavior
+    must be rolled back (discarded); elsewhere it is a hard error.
+    """
+
+    def __init__(self, source: int, target: int) -> None:
+        self.source = source
+        self.target = target
+        super().__init__(
+            f"edge {source} -> {target} would create a cycle in the execution graph"
+        )
+
+
+class AtomicityViolation(ReproError):
+    """An execution violates the Store Atomicity property (Section 3.3).
+
+    Raised by the closure engine when the rules (a), (b), (c) cannot be
+    satisfied without creating a cycle, or by the declarative checker when
+    handed a graph that breaks one of the serializability conditions.
+    """
+
+
+class SerializationError(ReproError):
+    """No serialization (witness total order) exists for an execution that
+    was expected to be serializable."""
+
+
+class EnumerationError(ReproError):
+    """The behavior-enumeration procedure hit a configured resource limit
+    (too many behaviors, too many steps) or an internal inconsistency."""
+
+
+class ConditionError(ReproError):
+    """A litmus-test condition expression is malformed or references an
+    unknown thread or register."""
+
+
+class CoherenceError(ReproError):
+    """The cache-coherence machine reached an inconsistent protocol state."""

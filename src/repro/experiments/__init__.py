@@ -1,0 +1,22 @@
+"""Experiments regenerating every figure and table of the paper.
+
+Modules:
+
+* ``fig1``   — the Weak Reordering Axioms table (Figure 1)
+* ``fig3``   — Store Atomicity rule a (Figure 3)
+* ``fig4``   — Store Atomicity rule b (Figure 4)
+* ``fig5``   — Store Atomicity rule c (Figure 5)
+* ``fig7``   — closure cascade across locations (Figure 7)
+* ``fig89``  — address-aliasing speculation (Figures 8 & 9)
+* ``fig1011``— non-atomic TSO with grey bypass edges (Figures 10 & 11)
+* ``litmus_matrix`` — the litmus × model table (TAB-LITMUS)
+* ``xval``   — axiomatic vs operational equivalence (TAB-XVAL)
+* ``coherence_exp`` — MSI conformance (TAB-COHERENCE, §4.2)
+* ``wellsync_exp``  — well-synchronization discipline (TAB-WSYNC, §8)
+* ``scaling`` — enumeration cost (TAB-SCALE)
+* ``report`` — run everything, emit EXPERIMENTS.md
+"""
+
+from repro.experiments.base import Claim, ExperimentResult, executions_where, node_at
+
+__all__ = ["Claim", "ExperimentResult", "executions_where", "node_at"]

@@ -1,0 +1,86 @@
+"""Figure artifact generation: Graphviz files for every paper figure.
+
+``write_figures(directory)`` regenerates the pictured execution of each
+figure (the one the paper draws) and writes it as a ``.dot`` file in the
+paper's visual language — solid local edges, ringed observations, dotted
+Store Atomicity edges, grey TSO bypass edges.  ``dot -Tpdf`` turns them
+into the figures themselves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.experiments import fig3, fig4, fig5, fig7, fig89, fig1011
+from repro.experiments.base import executions_where
+from repro.models.registry import get_model
+from repro.viz.dot import to_dot
+
+
+def _pictured_fig3():
+    result = enumerate_behaviors(fig3.build_program(), get_model("weak"))
+    return executions_where(result, r5=3, r6=4)[0], "Figure 3: rule a (L5 observes S3)"
+
+
+def _pictured_fig4():
+    result = enumerate_behaviors(fig4.build_program(), get_model("weak"))
+    return executions_where(result, r4=3, r6=2)[0], "Figure 4: rule b (L4 observes S3)"
+
+
+def _pictured_fig5():
+    result = enumerate_behaviors(fig5.build_program(), get_model("weak"))
+    return (
+        executions_where(result, r3=2, r5=4, r7=6, r9=8)[0],
+        "Figure 5: rule c (S1 ⊑ L7 derived)",
+    )
+
+
+def _pictured_fig7():
+    result = enumerate_behaviors(fig7.build_program(), get_model("weak"))
+    return (
+        executions_where(result, r5=2, r6=4)[0],
+        "Figure 7: cascade (edges c and d)",
+    )
+
+
+def _pictured_fig9():
+    result = enumerate_behaviors(fig89.build_program(), get_model("weak-spec"))
+    return (
+        executions_where(result, r3=2, r6="z", r8=2)[0],
+        "Figure 9 (right): the speculative behavior r8 = 2",
+    )
+
+
+def _pictured_fig11():
+    result = enumerate_behaviors(fig1011.build_program(), get_model("tso"))
+    pictured = [
+        execution
+        for execution in result.executions
+        if frozenset(execution.final_registers().items()) == fig1011.PAPER_OUTCOME
+    ]
+    return pictured[0], "Figure 11 (right): TSO with grey bypass edges"
+
+
+FIGURES = {
+    "fig3.dot": _pictured_fig3,
+    "fig4.dot": _pictured_fig4,
+    "fig5.dot": _pictured_fig5,
+    "fig7.dot": _pictured_fig7,
+    "fig9.dot": _pictured_fig9,
+    "fig11.dot": _pictured_fig11,
+}
+
+
+def write_figures(directory: str | Path) -> list[Path]:
+    """Write every figure's pictured execution as a .dot file; returns
+    the paths written."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for filename, builder in FIGURES.items():
+        execution, title = builder()
+        path = target / filename
+        path.write_text(to_dot(execution.graph, title=title), encoding="utf-8")
+        written.append(path)
+    return written

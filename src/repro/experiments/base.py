@@ -1,0 +1,91 @@
+"""Experiment infrastructure: claims, results, node lookup helpers.
+
+Each experiment module regenerates one paper artifact (a figure or a
+derived table) and checks the paper's qualitative claims about it.  A
+claim records what the paper asserts, what we measured, and whether they
+agree — feeding both the test suite and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.core.enumerate import EnumerationResult
+from repro.core.execution import Execution
+from repro.core.node import Node
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable assertion from the paper."""
+
+    description: str  #: what the paper claims
+    expected: object  #: the paper's value
+    observed: object  #: what we measured
+
+    @property
+    def holds(self) -> bool:
+        return self.expected == self.observed
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.holds else "FAIL"
+        return f"[{mark}] {self.description}: expected {self.expected!r}, observed {self.observed!r}"
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of regenerating one paper artifact."""
+
+    experiment_id: str
+    title: str
+    claims: list[Claim] = field(default_factory=list)
+    details: str = ""  #: rendered tables / graphs for the report
+
+    def claim(self, description: str, expected: object, observed: object) -> Claim:
+        entry = Claim(description, expected, observed)
+        self.claims.append(entry)
+        return entry
+
+    @property
+    def passed(self) -> bool:
+        return all(claim.holds for claim in self.claims)
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [f"== {self.experiment_id}: {self.title} [{status}] =="]
+        lines.extend(f"  {claim}" for claim in self.claims)
+        return "\n".join(lines)
+
+
+def node_at(execution: Execution, thread_name: str, index: int) -> Node:
+    """The dynamic node at program position ``index`` of the named thread.
+
+    For the straight-line figure programs, dynamic index == static index.
+    """
+    tid = execution.program.thread_index(thread_name)
+    for node in execution.graph.nodes:
+        if node.tid == tid and node.index == index:
+            return node
+    raise ReproError(f"no node at {thread_name}[{index}]")
+
+
+def executions_where(result: EnumerationResult, **register_values) -> list[Execution]:
+    """Executions whose final registers match, e.g. ``r5=3`` (register
+    names must be unique across threads, as in the figure programs)."""
+    matching = []
+    for execution in result.executions:
+        registers = {reg: value for (_, reg), value in execution.final_registers().items()}
+        if all(registers.get(name) == value for name, value in register_values.items()):
+            matching.append(execution)
+    return matching
+
+
+def register_projection(result: EnumerationResult, names: tuple[str, ...]) -> frozenset:
+    """The outcome set projected onto the given (globally unique) register
+    names — tuples in ``names`` order, with None for never-written."""
+    projected = set()
+    for execution in result.executions:
+        registers = {reg: value for (_, reg), value in execution.final_registers().items()}
+        projected.add(tuple(registers.get(name) for name in names))
+    return frozenset(projected)

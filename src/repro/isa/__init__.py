@@ -1,0 +1,53 @@
+"""Mini ISA substrate: operands, instructions, programs, assembler, DSL."""
+
+from repro.isa.assembler import AssemblySource, assemble, assemble_program, parse_instruction
+from repro.isa.disassembler import disassemble, export_library
+from repro.isa.lint import LintFinding, LintLevel, lint_program
+from repro.isa.dsl import ProgramBuilder, ThreadBuilder
+from repro.isa.instructions import (
+    Branch,
+    Compute,
+    Fence,
+    FenceKind,
+    Instruction,
+    Load,
+    OpClass,
+    Rmw,
+    RmwKind,
+    Store,
+    alu_eval,
+)
+from repro.isa.operands import Const, Operand, Reg, Value, as_operand
+from repro.isa.program import Program, Thread
+
+__all__ = [
+    "disassemble",
+    "export_library",
+    "LintFinding",
+    "LintLevel",
+    "lint_program",
+    "AssemblySource",
+    "assemble",
+    "assemble_program",
+    "parse_instruction",
+    "ProgramBuilder",
+    "ThreadBuilder",
+    "Branch",
+    "Compute",
+    "Fence",
+    "FenceKind",
+    "Instruction",
+    "Load",
+    "OpClass",
+    "Rmw",
+    "RmwKind",
+    "Store",
+    "alu_eval",
+    "Const",
+    "Operand",
+    "Reg",
+    "Value",
+    "as_operand",
+    "Program",
+    "Thread",
+]

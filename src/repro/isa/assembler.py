@@ -1,0 +1,257 @@
+"""Textual assembly format for litmus-style programs.
+
+The format is line-oriented; ``#`` starts a comment.  Example::
+
+    test SB
+    init x=0 y=0
+
+    thread P0
+        S x, 1
+        fence
+        r1 = L y
+
+    thread P1
+        S y, 1
+        fence
+        r2 = L x
+
+    exists (P0:r1=0 /\\ P1:r2=0)
+
+Operand syntax: tokens matching ``r<digits>`` are registers; integer
+literals are data; any other identifier is a memory-location name (used
+both as an address and as a pointer value, matching the paper's Figure 8).
+A trailing ``exists``/``forall``/``~exists`` line carries the litmus
+condition; it is returned verbatim for :mod:`repro.litmus` to parse.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import (
+    Branch,
+    Compute,
+    Fence,
+    FenceKind,
+    Instruction,
+    Load,
+    Rmw,
+    RmwKind,
+    Store,
+)
+from repro.isa.operands import Const, Operand, Reg, Value
+from repro.isa.program import Program, Thread
+
+_REGISTER_RE = re.compile(r"^r\d+$")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_INT_RE = re.compile(r"^-?\d+$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+
+_FENCE_KINDS = {kind.value: kind for kind in FenceKind}
+_CONDITION_KEYWORDS = ("exists", "~exists", "forall")
+
+
+@dataclass
+class AssemblySource:
+    """The result of assembling a source text: a program plus the raw
+    condition line (if any), for the litmus layer to interpret."""
+
+    program: Program
+    condition_text: str | None = None
+
+
+def parse_operand(token: str, line_number: int | None = None) -> Operand:
+    """Parse one operand token into a :class:`Reg` or :class:`Const`."""
+    token = token.strip()
+    if _INT_RE.match(token):
+        return Const(int(token))
+    if _REGISTER_RE.match(token):
+        return Reg(token)
+    if token.startswith("&"):
+        name = token[1:]
+        if not _IDENT_RE.match(name):
+            raise AssemblerError(f"bad address-of operand {token!r}", line_number)
+        return Const(name)
+    if _IDENT_RE.match(token):
+        return Const(token)
+    raise AssemblerError(f"cannot parse operand {token!r}", line_number)
+
+
+def _split_operands(text: str, line_number: int) -> list[str]:
+    parts = [part.strip() for part in text.split(",")]
+    if any(not part for part in parts):
+        raise AssemblerError(f"empty operand in {text!r}", line_number)
+    return parts
+
+
+def parse_instruction(line: str, line_number: int | None = None) -> Instruction:
+    """Parse a single instruction line (without label or comment)."""
+    text = line.strip()
+    lowered = text.lower()
+
+    if lowered == "fence":
+        return Fence()
+    if lowered.startswith("fence "):
+        kind_name = text.split(None, 1)[1].strip().lower()
+        if kind_name not in _FENCE_KINDS:
+            raise AssemblerError(f"unknown fence kind {kind_name!r}", line_number)
+        return Fence(_FENCE_KINDS[kind_name])
+
+    match = re.match(r"^(bnez|beqz)\s+(\S+)\s*,\s*(\S+)$", text, re.IGNORECASE)
+    if match:
+        mnemonic, reg_token, target = match.groups()
+        operand = parse_operand(reg_token, line_number)
+        if not isinstance(operand, Reg):
+            raise AssemblerError(f"{mnemonic} needs a register, got {reg_token!r}", line_number)
+        return Branch(target, operand, negate=(mnemonic.lower() == "beqz"))
+
+    match = re.match(r"^jmp\s+(\S+)$", text, re.IGNORECASE)
+    if match:
+        return Branch(match.group(1), None)
+
+    match = re.match(r"^S(\.rel)?\s+(.+)$", text)
+    if match:
+        parts = _split_operands(match.group(2), line_number or 0)
+        if len(parts) != 2:
+            raise AssemblerError(f"store takes 'S addr, value', got {text!r}", line_number)
+        return Store(
+            parse_operand(parts[0], line_number),
+            parse_operand(parts[1], line_number),
+            release=match.group(1) is not None,
+        )
+
+    match = re.match(r"^(r\d+)\s*=\s*(.+)$", text)
+    if match:
+        dst = Reg(match.group(1))
+        rhs = match.group(2).strip()
+        return _parse_assignment(dst, rhs, line_number)
+
+    raise AssemblerError(f"cannot parse instruction {text!r}", line_number)
+
+
+def _parse_assignment(dst: Reg, rhs: str, line_number: int | None) -> Instruction:
+    match = re.match(r"^L(\.acq)?\s+(\S+)$", rhs)
+    if match:
+        return Load(
+            dst,
+            parse_operand(match.group(2), line_number),
+            acquire=match.group(1) is not None,
+        )
+
+    match = re.match(r"^(cas|xchg|fadd)(\.acqrel|\.acq|\.rel)?\s+(.+)$", rhs, re.IGNORECASE)
+    if match:
+        kind = {
+            "cas": RmwKind.CAS,
+            "xchg": RmwKind.EXCHANGE,
+            "fadd": RmwKind.FETCH_ADD,
+        }[match.group(1).lower()]
+        suffix = (match.group(2) or "").lower()
+        parts = _split_operands(match.group(3), line_number or 0)
+        addr = parse_operand(parts[0], line_number)
+        args = tuple(parse_operand(part, line_number) for part in parts[1:])
+        return Rmw(
+            dst,
+            addr,
+            kind,
+            args,
+            acquire=suffix in (".acq", ".acqrel"),
+            release=suffix in (".rel", ".acqrel"),
+        )
+
+    match = re.match(r"^([a-z]+)\s+(.+)$", rhs)
+    if match:
+        op = match.group(1)
+        parts = _split_operands(match.group(2), line_number or 0)
+        return Compute(dst, op, tuple(parse_operand(part, line_number) for part in parts))
+
+    # Bare operand: "r1 = 7" or "r1 = x" is a mov.
+    return Compute(dst, "mov", (parse_operand(rhs, line_number),))
+
+
+def _parse_init(text: str, line_number: int) -> dict[str, Value]:
+    initial: dict[str, Value] = {}
+    for assignment in text.split():
+        if "=" not in assignment:
+            raise AssemblerError(f"init entries look like loc=value, got {assignment!r}", line_number)
+        location, _, raw = assignment.partition("=")
+        if not _IDENT_RE.match(location):
+            raise AssemblerError(f"bad location name {location!r}", line_number)
+        if _INT_RE.match(raw):
+            initial[location] = int(raw)
+        elif _IDENT_RE.match(raw):
+            initial[location] = raw
+        else:
+            raise AssemblerError(f"bad initial value {raw!r}", line_number)
+    return initial
+
+
+def assemble(source: str) -> AssemblySource:
+    """Assemble a full source text into a program plus condition text."""
+    name = "program"
+    initial: dict[str, Value] = {}
+    threads: list[Thread] = []
+    condition_text: str | None = None
+
+    current_name: str | None = None
+    current_code: list[Instruction] = []
+    current_labels: dict[str, int] = {}
+
+    def flush_thread(line_number: int) -> None:
+        nonlocal current_name, current_code, current_labels
+        if current_name is None:
+            return
+        try:
+            threads.append(Thread(current_name, tuple(current_code), dict(current_labels)))
+        except Exception as exc:  # re-wrap with location info
+            raise AssemblerError(str(exc), line_number) from exc
+        current_name, current_code, current_labels = None, [], {}
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        lowered = line.lower()
+
+        if lowered.startswith("test "):
+            name = line.split(None, 1)[1].strip()
+            continue
+        if lowered.startswith("init"):
+            rest = line[4:].strip()
+            initial.update(_parse_init(rest, line_number))
+            continue
+        if lowered.startswith("thread"):
+            flush_thread(line_number)
+            parts = line.split(None, 1)
+            current_name = parts[1].strip() if len(parts) > 1 else f"P{len(threads)}"
+            continue
+        if any(lowered.startswith(keyword) for keyword in _CONDITION_KEYWORDS):
+            condition_text = line
+            continue
+
+        if current_name is None:
+            raise AssemblerError(
+                f"instruction {line!r} appears before any 'thread' directive", line_number
+            )
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            label = label_match.group(1)
+            if label in current_labels:
+                raise AssemblerError(f"duplicate label {label!r}", line_number)
+            current_labels[label] = len(current_code)
+            continue
+
+        current_code.append(parse_instruction(line, line_number))
+
+    flush_thread(len(source.splitlines()))
+    if not threads:
+        raise AssemblerError("source contains no threads")
+
+    return AssemblySource(Program(tuple(threads), initial, name), condition_text)
+
+
+def assemble_program(source: str) -> Program:
+    """Assemble and return just the program (ignoring any condition)."""
+    return assemble(source).program

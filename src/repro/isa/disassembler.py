@@ -1,0 +1,117 @@
+"""Disassembler: programs back to the textual litmus format.
+
+The inverse of :mod:`repro.isa.assembler` — the round-trip property
+``assemble(disassemble(p)) == p`` holds for every representable program
+(all of the litmus library) and is property-tested.  Useful for
+exporting generated or family tests as standalone ``.litmus`` files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ProgramError
+from repro.isa.instructions import (
+    Branch,
+    Compute,
+    Fence,
+    FenceKind,
+    Instruction,
+    Load,
+    Rmw,
+    RmwKind,
+    Store,
+)
+from repro.isa.operands import Const, Operand, Reg
+from repro.isa.program import Program
+
+_RMW_NAME = {RmwKind.CAS: "cas", RmwKind.EXCHANGE: "xchg", RmwKind.FETCH_ADD: "fadd"}
+
+
+def _operand_text(operand: Operand) -> str:
+    if isinstance(operand, Reg):
+        return operand.name
+    value = operand.value
+    if isinstance(value, int):
+        return str(value)
+    return value  # a location name
+
+
+def _instruction_text(instruction: Instruction) -> str:
+    if isinstance(instruction, Store):
+        mnemonic = "S.rel" if instruction.release else "S"
+        return f"{mnemonic} {_operand_text(instruction.addr)}, {_operand_text(instruction.value)}"
+    if isinstance(instruction, Load):
+        mnemonic = "L.acq" if instruction.acquire else "L"
+        return f"{instruction.dst.name} = {mnemonic} {_operand_text(instruction.addr)}"
+    if isinstance(instruction, Fence):
+        if instruction.kind is FenceKind.FULL:
+            return "fence"
+        return f"fence {instruction.kind.value}"
+    if isinstance(instruction, Compute):
+        args = ", ".join(_operand_text(arg) for arg in instruction.args)
+        return f"{instruction.dst.name} = {instruction.op} {args}"
+    if isinstance(instruction, Branch):
+        if instruction.cond is None:
+            return f"jmp {instruction.target}"
+        mnemonic = "beqz" if instruction.negate else "bnez"
+        return f"{mnemonic} {instruction.cond.name}, {instruction.target}"
+    if isinstance(instruction, Rmw):
+        suffix = ""
+        if instruction.acquire and instruction.release:
+            suffix = ".acqrel"
+        elif instruction.acquire:
+            suffix = ".acq"
+        elif instruction.release:
+            suffix = ".rel"
+        operands = ", ".join(
+            [_operand_text(instruction.addr)]
+            + [_operand_text(arg) for arg in instruction.args]
+        )
+        return f"{instruction.dst.name} = {_RMW_NAME[instruction.kind]}{suffix} {operands}"
+    raise ProgramError(f"cannot disassemble {type(instruction).__name__}")
+
+
+def disassemble(program: Program, condition_text: str | None = None) -> str:
+    """The program in the textual format (optionally with a condition)."""
+    lines = [f"test {program.name}"]
+    if program.initial_memory:
+        entries = " ".join(
+            f"{location}={value}"
+            for location, value in sorted(program.initial_memory.items())
+        )
+        lines.append(f"init {entries}")
+    for thread in program.threads:
+        lines.append("")
+        lines.append(f"thread {thread.name}")
+        labels_at: dict[int, list[str]] = {}
+        for label, index in thread.labels.items():
+            labels_at.setdefault(index, []).append(label)
+        for index, instruction in enumerate(thread.code):
+            for label in sorted(labels_at.get(index, [])):
+                lines.append(f"{label}:")
+            lines.append(f"    {_instruction_text(instruction)}")
+        for label in sorted(labels_at.get(len(thread.code), [])):
+            lines.append(f"{label}:")
+    if condition_text:
+        lines.append("")
+        lines.append(condition_text)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def export_library(directory: str | Path) -> list[Path]:
+    """Write every library litmus test as a ``.litmus`` file."""
+    from repro.litmus.library import all_tests
+
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for test in all_tests():
+        safe_name = test.name.replace("+", "_").replace(".", "_")
+        path = target / f"{safe_name}.litmus"
+        path.write_text(
+            disassemble(test.program, str(test.condition)), encoding="utf-8"
+        )
+        written.append(path)
+    return written

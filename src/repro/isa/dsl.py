@@ -1,0 +1,204 @@
+"""A small builder DSL for constructing programs in Python.
+
+Example — the store-buffering (SB) litmus test::
+
+    from repro.isa.dsl import ProgramBuilder
+
+    builder = ProgramBuilder("SB")
+    p0 = builder.thread("P0")
+    p0.store("x", 1)
+    p0.load("r1", "y")
+    p1 = builder.thread("P1")
+    p1.store("y", 1)
+    p1.load("r2", "x")
+    program = builder.build()
+
+Addresses and stored values may be strings (location names), ints, or
+:class:`~repro.isa.operands.Reg` for register-indirect access.  As in
+the assembler, a string matching ``r<digits>`` denotes a *register*;
+any other string is a memory-location name.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ProgramError
+from repro.isa.instructions import (
+    Branch,
+    Compute,
+    Fence,
+    FenceKind,
+    Instruction,
+    Load,
+    Rmw,
+    RmwKind,
+    Store,
+)
+from repro.isa.operands import Operand, Reg, Value, as_operand
+from repro.isa.program import Program, Thread
+
+_REGISTER_RE = re.compile(r"^r\d+$")
+
+
+def _operand(value: object) -> Operand:
+    """DSL operand coercion: ``r<digits>`` strings are registers (matching
+    the assembler's convention); other strings are location names."""
+    if isinstance(value, str) and _REGISTER_RE.match(value):
+        return Reg(value)
+    return as_operand(value)  # type: ignore[arg-type]
+
+
+class ThreadBuilder:
+    """Accumulates instructions and labels for one thread.
+
+    All instruction methods return ``self`` so calls can be chained.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._code: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+
+    def _push(self, instruction: Instruction) -> "ThreadBuilder":
+        self._code.append(instruction)
+        return self
+
+    def load(self, dst: str | Reg, addr: object, acquire: bool = False) -> "ThreadBuilder":
+        """``dst = M[addr]`` (optionally with acquire semantics)."""
+        return self._push(Load(_reg(dst), _operand(addr), acquire=acquire))
+
+    def store(self, addr: object, value: object, release: bool = False) -> "ThreadBuilder":
+        """``M[addr] = value`` (optionally with release semantics)."""
+        return self._push(Store(_operand(addr), _operand(value), release=release))
+
+    def fence(self, kind: FenceKind = FenceKind.FULL) -> "ThreadBuilder":
+        return self._push(Fence(kind))
+
+    def compute(self, dst: str | Reg, op: str, *args: object) -> "ThreadBuilder":
+        """``dst = op(args...)`` — see the ALU table in instructions.py."""
+        return self._push(Compute(_reg(dst), op, tuple(_operand(a) for a in args)))
+
+    def mov(self, dst: str | Reg, src: object) -> "ThreadBuilder":
+        return self.compute(dst, "mov", src)
+
+    def add(self, dst: str | Reg, a: object, b: object) -> "ThreadBuilder":
+        return self.compute(dst, "add", a, b)
+
+    def eq(self, dst: str | Reg, a: object, b: object) -> "ThreadBuilder":
+        return self.compute(dst, "eq", a, b)
+
+    def label(self, name: str) -> "ThreadBuilder":
+        """Attach a label at the current position (before the next instruction)."""
+        if name in self._labels:
+            raise ProgramError(f"thread {self.name!r}: duplicate label {name!r}")
+        self._labels[name] = len(self._code)
+        return self
+
+    def bnez(self, cond: str | Reg, target: str) -> "ThreadBuilder":
+        """Branch to ``target`` when ``cond`` is non-zero."""
+        return self._push(Branch(target, _reg(cond), negate=False))
+
+    def beqz(self, cond: str | Reg, target: str) -> "ThreadBuilder":
+        """Branch to ``target`` when ``cond`` is zero."""
+        return self._push(Branch(target, _reg(cond), negate=True))
+
+    def jmp(self, target: str) -> "ThreadBuilder":
+        return self._push(Branch(target, None))
+
+    def cas(
+        self,
+        dst: str | Reg,
+        addr: object,
+        expected: object,
+        new: object,
+        acquire: bool = False,
+        release: bool = False,
+    ) -> "ThreadBuilder":
+        """Atomic compare-and-swap; old value lands in ``dst``."""
+        return self._push(
+            Rmw(
+                _reg(dst),
+                _operand(addr),
+                RmwKind.CAS,
+                (_operand(expected), _operand(new)),
+                acquire=acquire,
+                release=release,
+            )
+        )
+
+    def xchg(
+        self,
+        dst: str | Reg,
+        addr: object,
+        value: object,
+        acquire: bool = False,
+        release: bool = False,
+    ) -> "ThreadBuilder":
+        """Atomic exchange; old value lands in ``dst``."""
+        return self._push(
+            Rmw(
+                _reg(dst),
+                _operand(addr),
+                RmwKind.EXCHANGE,
+                (_operand(value),),
+                acquire=acquire,
+                release=release,
+            )
+        )
+
+    def fetch_add(
+        self,
+        dst: str | Reg,
+        addr: object,
+        delta: object,
+        acquire: bool = False,
+        release: bool = False,
+    ) -> "ThreadBuilder":
+        """Atomic fetch-and-add; old value lands in ``dst``."""
+        return self._push(
+            Rmw(
+                _reg(dst),
+                _operand(addr),
+                RmwKind.FETCH_ADD,
+                (_operand(delta),),
+                acquire=acquire,
+                release=release,
+            )
+        )
+
+    def build(self) -> Thread:
+        return Thread(self.name, tuple(self._code), dict(self._labels))
+
+
+class ProgramBuilder:
+    """Accumulates threads and initial memory into a :class:`Program`."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._threads: list[ThreadBuilder] = []
+        self._initial: dict[str, Value] = {}
+
+    def thread(self, name: str | None = None) -> ThreadBuilder:
+        """Create (and register) a new thread builder."""
+        if name is None:
+            name = f"P{len(self._threads)}"
+        builder = ThreadBuilder(name)
+        self._threads.append(builder)
+        return builder
+
+    def init(self, location: str, value: Value) -> "ProgramBuilder":
+        """Set the initial value of a memory location (default is 0)."""
+        self._initial[location] = value
+        return self
+
+    def build(self) -> Program:
+        return Program(
+            tuple(tb.build() for tb in self._threads),
+            dict(self._initial),
+            self.name,
+        )
+
+
+def _reg(value: str | Reg) -> Reg:
+    return value if isinstance(value, Reg) else Reg(value)

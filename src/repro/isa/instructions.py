@@ -1,0 +1,372 @@
+"""Static instruction set for the mini ISA.
+
+The ISA mirrors the instruction classes of the paper's Figure 1:
+
+* :class:`Compute` — ALU operations (the table's "+, etc." row/column),
+* :class:`Load` / :class:`Store` — memory operations,
+* :class:`Fence` — memory fences (full by default, fine-grained kinds as
+  an extension),
+* :class:`Branch` — conditional/unconditional control transfer,
+* :class:`Rmw` — atomic read-modify-write (paper Section 8's future-work
+  "atomic memory primitives such as Compare and Swap").
+
+Instructions are immutable *static* entities; a dynamic instance of an
+instruction in an execution is a graph node (see :mod:`repro.core.node`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ExecutionError, ProgramError
+from repro.isa.operands import Const, Operand, Reg, Value, as_operand
+
+
+class OpClass(enum.Enum):
+    """The instruction classes distinguished by reordering tables."""
+
+    COMPUTE = "compute"
+    LOAD = "load"
+    STORE = "store"
+    RMW = "rmw"
+    FENCE = "fence"
+    BRANCH = "branch"
+
+    def reads_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.RMW)
+
+    def writes_memory(self) -> bool:
+        return self in (OpClass.STORE, OpClass.RMW)
+
+    def is_memory(self) -> bool:
+        return self.reads_memory() or self.writes_memory()
+
+
+class FenceKind(enum.Enum):
+    """Which orderings a fence enforces.
+
+    ``FULL`` is the paper's Fence (orders all prior Loads and Stores before
+    all subsequent Loads and Stores).  The fine-grained kinds are the
+    SPARC-V9 ``membar`` flavors, provided as an extension: e.g.
+    ``STORE_LOAD`` orders prior stores before subsequent loads only.
+    """
+
+    FULL = "full"
+    LOAD_LOAD = "ld-ld"
+    LOAD_STORE = "ld-st"
+    STORE_LOAD = "st-ld"
+    STORE_STORE = "st-st"
+
+    def orders_before(self, cls: OpClass) -> bool:
+        """True if operations of class ``cls`` *preceding* the fence must
+        complete before it."""
+        if not cls.is_memory():
+            return False
+        if self is FenceKind.FULL:
+            return True
+        wants_load = self in (FenceKind.LOAD_LOAD, FenceKind.LOAD_STORE)
+        wants_store = self in (FenceKind.STORE_LOAD, FenceKind.STORE_STORE)
+        return (wants_load and cls.reads_memory()) or (wants_store and cls.writes_memory())
+
+    def orders_after(self, cls: OpClass) -> bool:
+        """True if operations of class ``cls`` *following* the fence must
+        wait for it."""
+        if not cls.is_memory():
+            return False
+        if self is FenceKind.FULL:
+            return True
+        wants_load = self in (FenceKind.LOAD_LOAD, FenceKind.STORE_LOAD)
+        wants_store = self in (FenceKind.LOAD_STORE, FenceKind.STORE_STORE)
+        return (wants_load and cls.reads_memory()) or (wants_store and cls.writes_memory())
+
+
+class RmwKind(enum.Enum):
+    """Atomic read-modify-write flavors."""
+
+    EXCHANGE = "xchg"  #: store operand, return old value
+    CAS = "cas"  #: store new iff old == expected, return old value
+    FETCH_ADD = "fadd"  #: store old + operand, return old value
+
+
+#: ALU operations available to :class:`Compute`.  Each takes the operand
+#: values in order and returns the result.  Comparison ops return 0/1.
+_ALU_OPS: dict[str, Callable[..., Value]] = {
+    "mov": lambda a: a,
+    "add": lambda a, b: _arith(a, b, lambda x, y: x + y, "add"),
+    "sub": lambda a, b: _arith(a, b, lambda x, y: x - y, "sub"),
+    "mul": lambda a, b: _arith(a, b, lambda x, y: x * y, "mul"),
+    "div": lambda a, b: _arith(a, b, lambda x, y: x // y, "div"),
+    "mod": lambda a, b: _arith(a, b, lambda x, y: x % y, "mod"),
+    "xor": lambda a, b: _arith(a, b, lambda x, y: x ^ y, "xor"),
+    "and": lambda a, b: _arith(a, b, lambda x, y: x & y, "and"),
+    "or": lambda a, b: _arith(a, b, lambda x, y: x | y, "or"),
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: _arith(a, b, lambda x, y: int(x < y), "lt"),
+    "le": lambda a, b: _arith(a, b, lambda x, y: int(x <= y), "le"),
+    "gt": lambda a, b: _arith(a, b, lambda x, y: int(x > y), "gt"),
+    "ge": lambda a, b: _arith(a, b, lambda x, y: int(x >= y), "ge"),
+    "not": lambda a: int(not a),
+}
+
+_ALU_ARITY: dict[str, int] = {name: (1 if name in ("mov", "not") else 2) for name in _ALU_OPS}
+
+
+def _arith(a: Value, b: Value, fn: Callable[[int, int], int], name: str) -> int:
+    if not isinstance(a, int) or not isinstance(b, int):
+        raise ExecutionError(f"ALU op {name!r} requires integer operands, got {a!r}, {b!r}")
+    return fn(a, b)
+
+
+def alu_eval(op: str, args: tuple[Value, ...]) -> Value:
+    """Evaluate ALU operation ``op`` on resolved operand values."""
+    try:
+        fn = _ALU_OPS[op]
+    except KeyError:
+        raise ProgramError(f"unknown ALU operation {op!r}") from None
+    return fn(*args)
+
+
+class Instruction:
+    """Base class for static instructions.
+
+    Subclasses are frozen dataclasses.  The common protocol:
+
+    * ``op_class`` — the :class:`OpClass` used by reordering tables,
+    * ``sources()`` — registers whose values the instruction needs,
+    * ``dest()`` — register written (or None),
+    * ``addr_operand()`` — the operand supplying the memory address
+      (or None for non-memory instructions).
+    """
+
+    op_class: OpClass
+
+    def sources(self) -> tuple[Reg, ...]:
+        raise NotImplementedError
+
+    def dest(self) -> Reg | None:
+        return None
+
+    def addr_operand(self) -> Operand | None:
+        return None
+
+
+def _regs_in(*operands: Operand) -> tuple[Reg, ...]:
+    return tuple(op for op in operands if isinstance(op, Reg))
+
+
+@dataclass(frozen=True, slots=True)
+class Compute(Instruction):
+    """ALU instruction: ``dst = op(args...)``.
+
+    ``op`` names an operation in the ALU table (``mov``, ``add``, ``eq``,
+    ...).  Operands may be registers or constants.
+    """
+
+    dst: Reg
+    op: str
+    args: tuple[Operand, ...]
+    op_class: OpClass = field(default=OpClass.COMPUTE, init=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in _ALU_OPS:
+            raise ProgramError(f"unknown ALU operation {self.op!r}")
+        if len(self.args) != _ALU_ARITY[self.op]:
+            raise ProgramError(
+                f"ALU op {self.op!r} takes {_ALU_ARITY[self.op]} operands, got {len(self.args)}"
+            )
+
+    def sources(self) -> tuple[Reg, ...]:
+        return _regs_in(*self.args)
+
+    def dest(self) -> Reg | None:
+        return self.dst
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True, slots=True)
+class Load(Instruction):
+    """Memory load: ``dst = M[addr]``.
+
+    ``acquire=True`` gives the load half-fence semantics: it is ordered
+    before every subsequent memory operation of its thread (an RCsc
+    load-acquire, as on ARMv8/Itanium — the paper's "reference
+    specification of a computer family" direction).
+    """
+
+    dst: Reg
+    addr: Operand
+    acquire: bool = False
+    op_class: OpClass = field(default=OpClass.LOAD, init=False)
+
+    def sources(self) -> tuple[Reg, ...]:
+        return _regs_in(self.addr)
+
+    def dest(self) -> Reg | None:
+        return self.dst
+
+    def addr_operand(self) -> Operand | None:
+        return self.addr
+
+    def __str__(self) -> str:
+        mnemonic = "L.acq" if self.acquire else "L"
+        return f"{self.dst} = {mnemonic} {self.addr}"
+
+
+@dataclass(frozen=True, slots=True)
+class Store(Instruction):
+    """Memory store: ``M[addr] = value``.
+
+    ``release=True`` gives the store half-fence semantics: every prior
+    memory operation of its thread is ordered before it.
+    """
+
+    addr: Operand
+    value: Operand
+    release: bool = False
+    op_class: OpClass = field(default=OpClass.STORE, init=False)
+
+    def sources(self) -> tuple[Reg, ...]:
+        return _regs_in(self.addr, self.value)
+
+    def addr_operand(self) -> Operand | None:
+        return self.addr
+
+    def __str__(self) -> str:
+        mnemonic = "S.rel" if self.release else "S"
+        return f"{mnemonic} {self.addr}, {self.value}"
+
+
+@dataclass(frozen=True, slots=True)
+class Fence(Instruction):
+    """Memory fence.  ``kind`` selects which orderings it enforces."""
+
+    kind: FenceKind = FenceKind.FULL
+    op_class: OpClass = field(default=OpClass.FENCE, init=False)
+
+    def sources(self) -> tuple[Reg, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return "Fence" if self.kind is FenceKind.FULL else f"Fence[{self.kind.value}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Branch(Instruction):
+    """Conditional branch: jump to ``target`` when the condition holds.
+
+    ``cond`` is the condition register; the branch is taken when the
+    register is non-zero (or zero, when ``negate`` is set).  With
+    ``cond=None`` the branch is unconditional (a jump).
+    """
+
+    target: str
+    cond: Reg | None = None
+    negate: bool = False
+    op_class: OpClass = field(default=OpClass.BRANCH, init=False)
+
+    def sources(self) -> tuple[Reg, ...]:
+        return (self.cond,) if self.cond is not None else ()
+
+    def taken(self, cond_value: Value) -> bool:
+        """Decide whether the branch is taken given its condition value."""
+        if self.cond is None:
+            return True
+        truth = bool(cond_value)
+        return (not truth) if self.negate else truth
+
+    def __str__(self) -> str:
+        if self.cond is None:
+            return f"jmp {self.target}"
+        op = "beqz" if self.negate else "bnez"
+        return f"{op} {self.cond}, {self.target}"
+
+
+@dataclass(frozen=True, slots=True)
+class Rmw(Instruction):
+    """Atomic read-modify-write on ``addr``; old value is written to ``dst``.
+
+    * ``EXCHANGE``: stores ``args[0]``.
+    * ``CAS``: stores ``args[1]`` iff the old value equals ``args[0]``.
+    * ``FETCH_ADD``: stores ``old + args[0]``.
+
+    In the execution-graph semantics an Rmw is a single node that acts as
+    both Load and Store; serialization condition 3 (no intervening store
+    between source and observer) then yields atomicity for free.
+
+    ``acquire``/``release`` give the usual half-fence annotations (an
+    acquire-release CAS is the canonical lock primitive).
+    """
+
+    dst: Reg
+    addr: Operand
+    kind: RmwKind
+    args: tuple[Operand, ...]
+    acquire: bool = False
+    release: bool = False
+    op_class: OpClass = field(default=OpClass.RMW, init=False)
+
+    def __post_init__(self) -> None:
+        arity = {RmwKind.EXCHANGE: 1, RmwKind.CAS: 2, RmwKind.FETCH_ADD: 1}[self.kind]
+        if len(self.args) != arity:
+            raise ProgramError(
+                f"RMW {self.kind.value} takes {arity} operands, got {len(self.args)}"
+            )
+
+    def sources(self) -> tuple[Reg, ...]:
+        return _regs_in(self.addr, *self.args)
+
+    def dest(self) -> Reg | None:
+        return self.dst
+
+    def addr_operand(self) -> Operand | None:
+        return self.addr
+
+    def stored_value(self, old: Value, args: tuple[Value, ...]) -> Value | None:
+        """The value this Rmw stores given the observed old value, or None
+        if it does not store (a failed CAS)."""
+        if self.kind is RmwKind.EXCHANGE:
+            return args[0]
+        if self.kind is RmwKind.CAS:
+            return args[1] if old == args[0] else None
+        if not isinstance(old, int) or not isinstance(args[0], int):
+            raise ExecutionError(f"fetch-add requires integers, got {old!r} + {args[0]!r}")
+        return old + args[0]
+
+    def __str__(self) -> str:
+        suffix = ""
+        if self.acquire and self.release:
+            suffix = ".acqrel"
+        elif self.acquire:
+            suffix = ".acq"
+        elif self.release:
+            suffix = ".rel"
+        return (
+            f"{self.dst} = {self.kind.value}{suffix} {self.addr}, "
+            f"{', '.join(map(str, self.args))}"
+        )
+
+
+def normalize_args(args: tuple[object, ...]) -> tuple[Operand, ...]:
+    """Coerce a tuple of raw values/operands into operands (DSL helper)."""
+    return tuple(as_operand(a) for a in args)
+
+
+__all__ = [
+    "OpClass",
+    "FenceKind",
+    "RmwKind",
+    "Instruction",
+    "Compute",
+    "Load",
+    "Store",
+    "Fence",
+    "Branch",
+    "Rmw",
+    "alu_eval",
+    "normalize_args",
+]

@@ -1,0 +1,159 @@
+"""A program linter: static sanity checks before enumeration.
+
+The enumerator happily executes any well-formed program; this linter
+catches the mistakes that silently change what a litmus test means —
+registers read before any write (they read 0), dead labels, locations
+written but never read (or vice versa), threads with no memory
+operations, and registers written twice in a way that usually indicates
+a typo in a hand-written test.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.instructions import Branch, Fence, Instruction, OpClass
+from repro.isa.operands import Const, Reg
+from repro.isa.program import Program, Thread
+
+
+class LintLevel(enum.Enum):
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One linter finding."""
+
+    level: LintLevel
+    thread: str | None
+    message: str
+
+    def __str__(self) -> str:
+        where = f"[{self.thread}] " if self.thread else ""
+        return f"{self.level.value}: {where}{self.message}"
+
+
+def _lint_thread(thread: Thread) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    written: set[str] = set()
+    read_before_write: set[str] = set()
+    write_counts: dict[str, int] = {}
+
+    for instruction in thread.code:
+        for register in instruction.sources():
+            if register.name not in written:
+                read_before_write.add(register.name)
+        destination = instruction.dest()
+        if destination is not None:
+            written.add(destination.name)
+            write_counts[destination.name] = write_counts.get(destination.name, 0) + 1
+
+    for register in sorted(read_before_write):
+        findings.append(
+            LintFinding(
+                LintLevel.WARNING,
+                thread.name,
+                f"register {register} is read before any write (reads as 0)",
+            )
+        )
+    for register, count in sorted(write_counts.items()):
+        if count > 1:
+            findings.append(
+                LintFinding(
+                    LintLevel.INFO,
+                    thread.name,
+                    f"register {register} is written {count} times (final value "
+                    f"comes from the last write)",
+                )
+            )
+
+    targets = {
+        instruction.target
+        for instruction in thread.code
+        if isinstance(instruction, Branch)
+    }
+    for label in sorted(set(thread.labels) - targets):
+        findings.append(
+            LintFinding(LintLevel.INFO, thread.name, f"label {label!r} is never branched to")
+        )
+
+    if not any(instruction.op_class.is_memory() for instruction in thread.code):
+        findings.append(
+            LintFinding(
+                LintLevel.WARNING,
+                thread.name,
+                "thread performs no memory operations (it cannot affect or "
+                "observe other threads)",
+            )
+        )
+
+    trailing_fence = bool(thread.code) and isinstance(thread.code[-1], Fence)
+    if trailing_fence:
+        findings.append(
+            LintFinding(
+                LintLevel.INFO,
+                thread.name,
+                "trailing fence has nothing after it to order",
+            )
+        )
+    return findings
+
+
+def _static_reads_writes(program: Program) -> tuple[set[str], set[str], bool]:
+    reads: set[str] = set()
+    writes: set[str] = set()
+    dynamic = False
+    for thread in program.threads:
+        for instruction in thread.code:
+            if not instruction.op_class.is_memory():
+                continue
+            addr = instruction.addr_operand()
+            if not isinstance(addr, Const) or not isinstance(addr.value, str):
+                dynamic = True
+                continue
+            if instruction.op_class.reads_memory():
+                reads.add(addr.value)
+            if instruction.op_class.writes_memory():
+                writes.add(addr.value)
+    return reads, writes, dynamic
+
+
+def lint_program(program: Program) -> list[LintFinding]:
+    """All findings for ``program``, threads first, then globals."""
+    findings: list[LintFinding] = []
+    for thread in program.threads:
+        findings.extend(_lint_thread(thread))
+
+    reads, writes, dynamic = _static_reads_writes(program)
+    if not dynamic:
+        for location in sorted(writes - reads):
+            findings.append(
+                LintFinding(
+                    LintLevel.INFO,
+                    None,
+                    f"location {location!r} is written but never read "
+                    f"(only observable through final-memory conditions)",
+                )
+            )
+        for location in sorted(reads - writes - set(program.initial_memory)):
+            findings.append(
+                LintFinding(
+                    LintLevel.INFO,
+                    None,
+                    f"location {location!r} is read but never written "
+                    f"(always the initial value 0)",
+                )
+            )
+    for location, value in sorted(program.initial_memory.items()):
+        if location not in reads | writes and not dynamic:
+            findings.append(
+                LintFinding(
+                    LintLevel.WARNING,
+                    None,
+                    f"initial value for {location!r} is never used",
+                )
+            )
+    return findings

@@ -1,0 +1,74 @@
+"""Operand types for the mini ISA.
+
+Instructions take operands that are either registers (:class:`Reg`) or
+immediate constants (:class:`Const`).  Values flowing through the machine
+are either integers (ordinary data) or strings (memory-location names,
+i.e. addresses — the paper's Figure 8 stores the *address* ``w`` into
+location ``x`` to model pointers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ProgramError
+
+#: A runtime value: plain data (int) or a memory-location name (str).
+Value = Union[int, str]
+
+
+@dataclass(frozen=True, slots=True)
+class Reg:
+    """A register operand, identified by name (e.g. ``r1``).
+
+    Registers are thread-local; the same name in two threads denotes two
+    unrelated registers.  A register that is read before any instruction
+    has written it holds the integer 0.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ProgramError(f"register name must be a non-empty string, got {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """An immediate constant operand.
+
+    The payload may be an int (data) or a str (a memory-location name,
+    used both as store data for pointer idioms and as a direct address).
+    """
+
+    value: Value
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, (int, str)) or isinstance(self.value, bool):
+            raise ProgramError(f"constant must be int or str, got {self.value!r}")
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+
+#: Any instruction operand.
+Operand = Union[Reg, Const]
+
+
+def as_operand(raw: "Operand | Value") -> Operand:
+    """Coerce a raw int/str into a :class:`Const`; pass operands through.
+
+    The DSL accepts bare Python values wherever an operand is expected;
+    this helper normalizes them.  Strings are treated as location names
+    (constants), **not** register references — use :class:`Reg` explicitly
+    for registers.
+    """
+    if isinstance(raw, (Reg, Const)):
+        return raw
+    if isinstance(raw, (int, str)) and not isinstance(raw, bool):
+        return Const(raw)
+    raise ProgramError(f"cannot interpret {raw!r} as an operand")

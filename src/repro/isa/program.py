@@ -1,0 +1,154 @@
+"""Programs and threads.
+
+A :class:`Program` is a set of named threads plus the initial memory
+contents.  Thread code is a flat list of instructions with symbolic labels
+as branch targets (labels are attached between instructions, herd-style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.isa.instructions import Branch, Instruction, OpClass
+from repro.isa.operands import Const, Reg, Value
+
+
+@dataclass(frozen=True)
+class Thread:
+    """A single program thread.
+
+    ``labels`` maps a label name to the instruction index it precedes; a
+    label equal to ``len(code)`` marks the end of the thread (branching
+    there terminates the thread).
+    """
+
+    name: str
+    code: tuple[Instruction, ...]
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label, index in self.labels.items():
+            if not 0 <= index <= len(self.code):
+                raise ProgramError(
+                    f"thread {self.name!r}: label {label!r} points at {index}, "
+                    f"valid range is 0..{len(self.code)}"
+                )
+        for position, instruction in enumerate(self.code):
+            if isinstance(instruction, Branch) and instruction.target not in self.labels:
+                raise ProgramError(
+                    f"thread {self.name!r}: branch at {position} targets unknown "
+                    f"label {instruction.target!r}"
+                )
+
+    def target_of(self, branch: Branch) -> int:
+        """The instruction index a taken branch transfers control to."""
+        return self.labels[branch.target]
+
+    def registers(self) -> tuple[Reg, ...]:
+        """All registers mentioned by this thread, in first-use order."""
+        seen: dict[Reg, None] = {}
+        for instruction in self.code:
+            for reg in instruction.sources():
+                seen.setdefault(reg, None)
+            dst = instruction.dest()
+            if dst is not None:
+                seen.setdefault(dst, None)
+        return tuple(seen)
+
+    def static_locations(self) -> set[str]:
+        """Location names appearing as constant addresses or constant data."""
+        locations: set[str] = set()
+        for instruction in self.code:
+            addr = instruction.addr_operand()
+            if isinstance(addr, Const) and isinstance(addr.value, str):
+                locations.add(addr.value)
+            # Stored string constants are pointer values: they name locations
+            # a register-indirect access may later touch (paper Figure 8).
+            for operand in _data_operands(instruction):
+                if isinstance(operand, Const) and isinstance(operand.value, str):
+                    locations.add(operand.value)
+        return locations
+
+
+def _data_operands(instruction: Instruction) -> tuple:
+    from repro.isa.instructions import Compute, Rmw, Store
+
+    if isinstance(instruction, Store):
+        return (instruction.value,)
+    if isinstance(instruction, Rmw):
+        return instruction.args
+    if isinstance(instruction, Compute):
+        return instruction.args
+    return ()
+
+
+@dataclass(frozen=True)
+class Program:
+    """A multithreaded program: threads plus initial memory contents.
+
+    Locations not listed in ``initial_memory`` start at integer 0; the
+    enumeration machinery materializes one *init Store* per referenced
+    location, ordered before all thread operations (paper Section 4:
+    "Memory is initialized with Store operations before any thread is
+    started", guaranteeing ``candidates(L)`` is never empty).
+    """
+
+    threads: tuple[Thread, ...]
+    initial_memory: dict[str, Value] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        if not self.threads:
+            raise ProgramError("a program must have at least one thread")
+        names = [thread.name for thread in self.threads]
+        if len(set(names)) != len(names):
+            raise ProgramError(f"duplicate thread names: {names}")
+
+    def thread_index(self, name: str) -> int:
+        for index, thread in enumerate(self.threads):
+            if thread.name == name:
+                return index
+        raise ProgramError(f"no thread named {name!r} in program {self.name!r}")
+
+    def locations(self) -> tuple[str, ...]:
+        """All memory locations the program may touch, sorted.
+
+        Includes statically named locations, pointer constants, and keys of
+        ``initial_memory``.  Register-indirect accesses can only reach
+        addresses that exist as values somewhere in the program, so this
+        set is conservative and complete for init-store generation.
+        """
+        locations: set[str] = set(self.initial_memory)
+        for thread in self.threads:
+            locations |= thread.static_locations()
+        for value in self.initial_memory.values():
+            if isinstance(value, str):
+                locations.add(value)
+        return tuple(sorted(locations))
+
+    def instruction_count(self) -> int:
+        return sum(len(thread.code) for thread in self.threads)
+
+    def has_branches(self) -> bool:
+        return any(
+            instruction.op_class is OpClass.BRANCH
+            for thread in self.threads
+            for instruction in thread.code
+        )
+
+    def initial_value(self, location: str) -> Value:
+        return self.initial_memory.get(location, 0)
+
+    def __str__(self) -> str:
+        lines = [f"program {self.name!r}:"]
+        for thread in self.threads:
+            lines.append(f"  thread {thread.name}:")
+            back_labels = {index: label for label, index in thread.labels.items()}
+            for position, instruction in enumerate(thread.code):
+                if position in back_labels:
+                    lines.append(f"   {back_labels[position]}:")
+                lines.append(f"    {instruction}")
+            if len(thread.code) in back_labels:
+                lines.append(f"   {back_labels[len(thread.code)]}:")
+        return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Litmus tests: condition language, classic library, runner."""
+
+from repro.litmus.conditions import (
+    And,
+    Condition,
+    MemoryAtom,
+    Not,
+    Or,
+    RegisterAtom,
+    parse_condition,
+)
+from repro.litmus.families import independent_writers, mp_chain, sb_ring
+from repro.litmus.finalstate import realizable_final_memory
+from repro.litmus.generator import EdgeKindSpec, GeneratedTest, generate, predict_verdict
+from repro.litmus.library import all_tests, get_test, test_names
+from repro.litmus.runner import LitmusVerdict, format_matrix, run_litmus, run_matrix
+from repro.litmus.test import LitmusTest, litmus_from_source
+
+__all__ = [
+    "And",
+    "Condition",
+    "MemoryAtom",
+    "Not",
+    "Or",
+    "RegisterAtom",
+    "parse_condition",
+    "realizable_final_memory",
+    "independent_writers",
+    "mp_chain",
+    "sb_ring",
+    "EdgeKindSpec",
+    "GeneratedTest",
+    "generate",
+    "predict_verdict",
+    "all_tests",
+    "get_test",
+    "test_names",
+    "LitmusVerdict",
+    "format_matrix",
+    "run_litmus",
+    "run_matrix",
+    "LitmusTest",
+    "litmus_from_source",
+]

@@ -1,0 +1,264 @@
+"""herd-style final-state conditions for litmus tests.
+
+Grammar (whitespace-insensitive)::
+
+    condition := ('exists' | '~exists' | 'forall') expr
+    expr      := term ( '\\/' term )*
+    term      := factor ( '/\\' factor )*
+    factor    := '(' expr ')' | 'not' factor | atom
+    atom      := THREAD ':' REG '=' VALUE        register equality
+               | '[' LOC ']' '=' VALUE           final memory contents
+
+Values are integers or location names.  Expressions are evaluated against
+one execution's final registers plus one *concrete final-memory
+assignment*.  Because an execution is a partial order, its final memory
+can be ambiguous (unobserved stores race); the realizable assignments are
+computed by :mod:`repro.litmus.finalstate` and the quantifier ranges over
+(execution, assignment) pairs:
+
+* ``exists`` — some execution has some realizable final state satisfying
+  the expression,
+* ``~exists`` — no (execution, final state) pair satisfies it,
+* ``forall`` — every realizable final state of every execution satisfies it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ConditionError
+from repro.isa.operands import Value
+
+
+@dataclass(frozen=True)
+class RegisterAtom:
+    """``thread:register = value``."""
+
+    thread: str
+    register: str
+    value: Value
+
+    def evaluate(self, registers: dict, memory: dict) -> bool:
+        return registers.get((self.thread, self.register)) == self.value
+
+    def locations(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.thread}:{self.register}={self.value}"
+
+
+@dataclass(frozen=True)
+class MemoryAtom:
+    """``[location] = value`` against a concrete final-memory assignment."""
+
+    location: str
+    value: Value
+
+    def evaluate(self, registers: dict, memory: dict) -> bool:
+        return memory.get(self.location) == self.value
+
+    def locations(self) -> frozenset[str]:
+        return frozenset({self.location})
+
+    def __str__(self) -> str:
+        return f"[{self.location}]={self.value}"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expr"
+
+    def evaluate(self, registers: dict, memory: dict) -> bool:
+        return not self.operand.evaluate(registers, memory)
+
+    def locations(self) -> frozenset[str]:
+        return self.operand.locations()
+
+    def __str__(self) -> str:
+        return f"not {self.operand}"
+
+
+@dataclass(frozen=True)
+class And:
+    operands: tuple["Expr", ...]
+
+    def evaluate(self, registers: dict, memory: dict) -> bool:
+        return all(op.evaluate(registers, memory) for op in self.operands)
+
+    def locations(self) -> frozenset[str]:
+        return frozenset().union(*(op.locations() for op in self.operands))
+
+    def __str__(self) -> str:
+        return "(" + " /\\ ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    operands: tuple["Expr", ...]
+
+    def evaluate(self, registers: dict, memory: dict) -> bool:
+        return any(op.evaluate(registers, memory) for op in self.operands)
+
+    def locations(self) -> frozenset[str]:
+        return frozenset().union(*(op.locations() for op in self.operands))
+
+    def __str__(self) -> str:
+        return "(" + " \\/ ".join(map(str, self.operands)) + ")"
+
+
+Expr = Union[RegisterAtom, MemoryAtom, Not, And, Or]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A quantified condition: ``exists`` / ``~exists`` / ``forall``."""
+
+    quantifier: str  # "exists" | "~exists" | "forall"
+    expr: Expr
+
+    def __post_init__(self) -> None:
+        if self.quantifier not in ("exists", "~exists", "forall"):
+            raise ConditionError(f"unknown quantifier {self.quantifier!r}")
+
+    def holds_in(self, registers: dict, memory: dict) -> bool:
+        """Whether the bare expression holds in one concrete final state."""
+        return self.expr.evaluate(registers, memory)
+
+    def locations(self) -> frozenset[str]:
+        """Memory locations the condition constrains."""
+        return self.expr.locations()
+
+    def judge(self, satisfied_count: int, total: int) -> bool:
+        """Apply the quantifier to counts over the behavior set."""
+        if self.quantifier == "exists":
+            return satisfied_count > 0
+        if self.quantifier == "~exists":
+            return satisfied_count == 0
+        return satisfied_count == total
+
+    def __str__(self) -> str:
+        return f"{self.quantifier} {self.expr}"
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<op>/\\|\\/|\(|\)|\[|\]|:|=)"
+    r"|(?P<int>-?\d+)"
+    r"|(?P<word>[A-Za-z_][A-Za-z0-9_]*)"
+    r")"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            raise ConditionError(f"cannot tokenize condition at: {text[position:]!r}")
+        position = match.end()
+        for kind in ("op", "int", "word"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def pop(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ConditionError("unexpected end of condition")
+        self.position += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        token = self.pop()
+        if token[1] != value:
+            raise ConditionError(f"expected {value!r}, got {token[1]!r}")
+
+    def parse_expr(self) -> Expr:
+        terms = [self.parse_term()]
+        while self.peek() == ("op", "\\/"):
+            self.pop()
+            terms.append(self.parse_term())
+        return terms[0] if len(terms) == 1 else Or(tuple(terms))
+
+    def parse_term(self) -> Expr:
+        factors = [self.parse_factor()]
+        while self.peek() == ("op", "/\\"):
+            self.pop()
+            factors.append(self.parse_factor())
+        return factors[0] if len(factors) == 1 else And(tuple(factors))
+
+    def parse_factor(self) -> Expr:
+        token = self.peek()
+        if token is None:
+            raise ConditionError("unexpected end of condition")
+        if token == ("op", "("):
+            self.pop()
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if token == ("word", "not"):
+            self.pop()
+            return Not(self.parse_factor())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.pop()
+        if token == ("op", "["):
+            location = self.pop()
+            if location[0] != "word":
+                raise ConditionError(f"expected location name, got {location[1]!r}")
+            self.expect("]")
+            self.expect("=")
+            return MemoryAtom(location[1], self._value())
+        if token[0] != "word":
+            raise ConditionError(f"expected thread name, got {token[1]!r}")
+        thread = token[1]
+        self.expect(":")
+        register = self.pop()
+        if register[0] != "word":
+            raise ConditionError(f"expected register name, got {register[1]!r}")
+        self.expect("=")
+        return RegisterAtom(thread, register[1], self._value())
+
+    def _value(self) -> Value:
+        token = self.pop()
+        if token[0] == "int":
+            return int(token[1])
+        if token[0] == "word":
+            return token[1]
+        raise ConditionError(f"expected a value, got {token[1]!r}")
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a full condition line, e.g. ``exists (P0:r1=0 /\\ P1:r2=0)``."""
+    stripped = text.strip()
+    quantifier = None
+    for candidate in ("~exists", "exists", "forall"):
+        if stripped.startswith(candidate):
+            quantifier = candidate
+            stripped = stripped[len(candidate) :]
+            break
+    if quantifier is None:
+        raise ConditionError(
+            f"condition must start with exists/~exists/forall: {text!r}"
+        )
+    parser = _Parser(_tokenize(stripped))
+    expr = parser.parse_expr()
+    if parser.peek() is not None:
+        raise ConditionError(f"trailing tokens in condition: {text!r}")
+    return Condition(quantifier, expr)

@@ -1,0 +1,101 @@
+"""Realizable final-memory states of a partially ordered execution.
+
+An execution graph determines final register values uniquely, but the
+final *memory* contents depend on which serialization happened: for each
+address, the last store in the chosen total order.  A store ``S`` to
+address ``a`` can be last iff a linear extension exists in which every
+other visible store to ``a`` precedes it — i.e. iff the edge set
+``{S' → S : S' =a S}`` can be added without creating a cycle.  Choices
+for different addresses interact through ``⊑``, so joint assignments are
+validated by trial edge insertion on a scratch copy of the graph.
+
+This gives herd-comparable semantics to ``[x]=v`` condition atoms while
+staying faithful to the paper's partial-order representation.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.errors import AtomicityViolation, CycleError
+from repro.core.atomicity import close_store_atomicity
+from repro.core.execution import Execution
+from repro.core.graph import EdgeKind
+from repro.core.node import Node
+
+
+def _stores_by_location(execution: Execution, locations: frozenset[str]) -> dict[str, list[Node]]:
+    grouped: dict[str, list[Node]] = {location: [] for location in locations}
+    for node in execution.graph.nodes:
+        if node.is_visible_store and node.addr in grouped:
+            grouped[node.addr].append(node)
+    return grouped
+
+
+def _last_candidates(execution: Execution, stores: list[Node]) -> list[Node]:
+    """Stores with no same-address ⊑-successor store (potentially last)."""
+    graph = execution.graph
+    return [
+        store
+        for store in stores
+        if not any(
+            other.nid != store.nid and graph.before(store.nid, other.nid)
+            for other in stores
+        )
+    ]
+
+
+def _jointly_realizable(
+    execution: Execution, choice: dict[str, Node], grouped: dict[str, list[Node]]
+) -> bool:
+    """Can every chosen store be the last one to its address simultaneously?"""
+    scratch = execution.graph.copy()
+    try:
+        for location, final in choice.items():
+            for other in grouped[location]:
+                if other.nid != final.nid and not scratch.before(other.nid, final.nid):
+                    scratch.add_edge(other.nid, final.nid, EdgeKind.IMPOSED)
+        # Imposed orderings may trigger further Store Atomicity obligations
+        # (§3.3: inserting edges is legal only if the closure stays acyclic).
+        close_store_atomicity(scratch)
+    except (CycleError, AtomicityViolation):
+        return False
+    return True
+
+
+def realizable_final_memory(
+    execution: Execution, locations: frozenset[str]
+) -> list[dict[str, object]]:
+    """All final-memory assignments for ``locations`` that some
+    serialization of ``execution`` can produce.
+
+    Returns a list of ``{location: value}`` dicts; with no locations the
+    single empty assignment is returned (conditions without memory atoms
+    need exactly one evaluation).  Locations never written resolve to no
+    assignment at all, making any memory atom on them false.
+    """
+    if not locations:
+        return [{}]
+    grouped = _stores_by_location(execution, locations)
+    if any(not stores for stores in grouped.values()):
+        return []
+    ordered_locations = sorted(grouped)
+    candidate_lists = [
+        _last_candidates(execution, grouped[location]) for location in ordered_locations
+    ]
+    assignments = []
+    for combination in product(*candidate_lists):
+        choice = dict(zip(ordered_locations, combination))
+        if _jointly_realizable(execution, choice, grouped):
+            assignments.append(
+                {location: store.stored for location, store in choice.items()}
+            )
+    # Distinct store nodes may have stored equal values; deduplicate.
+    unique: list[dict[str, object]] = []
+    seen = set()
+    for assignment in assignments:
+        key = tuple(sorted(assignment.items(), key=lambda kv: kv[0]))
+        if key not in seen:
+            seen.add(key)
+            unique.append(assignment)
+    return unique

@@ -1,0 +1,259 @@
+"""diy-style litmus-test synthesis from critical cycles.
+
+Shasha & Snir [27] (cited in §7) showed that non-SC behavior always
+involves a *critical cycle* alternating program-order edges with
+communication edges.  Tools in the diy family synthesize litmus tests by
+walking such a cycle; this module does the same over this framework's
+edge vocabulary, giving an unbounded family of tests with *predictable*
+verdicts for stress-testing the enumerator:
+
+Edge kinds:
+
+* ``Rfe``  — write → read, different thread, same address (the read
+  observes the write),
+* ``Fre``  — read → write, different thread, same address (the read
+  observes the *initial* value, so it is from-read before the write),
+* ``Wse``  — write → write, different thread, same address (coherence
+  order: the first write is overwritten; checked via final memory),
+* ``PodXY`` — program order, same thread, different address, where
+  X,Y ∈ {R,W} are the endpoint kinds,
+* ``FenXY`` — like PodXY with a full fence between.
+
+The synthesized condition asserts that every communication edge happened
+as drawn; the cycle then requires every program-order edge to be
+violated simultaneously, so the prediction is:
+
+    the condition is observable under model M  ⟺  every Pod edge of the
+    cycle is relaxable under M (Fen edges are never relaxable; a cycle
+    with none of its po edges relaxable is forbidden by Store Atomicity).
+
+``predict_verdict`` implements that rule and the test suite validates it
+against the enumerator on a catalogue of generated cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+from repro.isa.dsl import ProgramBuilder
+from repro.isa.instructions import OpClass
+from repro.litmus.conditions import parse_condition
+from repro.litmus.test import LitmusTest
+from repro.models.base import MemoryModel, OrderRequirement
+from repro.models.registry import get_model
+
+
+class EdgeKindSpec(enum.Enum):
+    """Cycle edge vocabulary (diy naming)."""
+
+    RFE = "Rfe"
+    FRE = "Fre"
+    WSE = "Wse"
+    POD_RR = "PodRR"
+    POD_RW = "PodRW"
+    POD_WR = "PodWR"
+    POD_WW = "PodWW"
+    FEN_RR = "FenRR"
+    FEN_RW = "FenRW"
+    FEN_WR = "FenWR"
+    FEN_WW = "FenWW"
+
+    @property
+    def external(self) -> bool:
+        return self in (EdgeKindSpec.RFE, EdgeKindSpec.FRE, EdgeKindSpec.WSE)
+
+    @property
+    def fenced(self) -> bool:
+        return self.value.startswith("Fen")
+
+    @property
+    def source_kind(self) -> str:
+        """'R' or 'W' — the kind of the edge's source event."""
+        if self is EdgeKindSpec.RFE:
+            return "W"
+        if self is EdgeKindSpec.FRE:
+            return "R"
+        if self is EdgeKindSpec.WSE:
+            return "W"
+        return self.value[-2]
+
+    @property
+    def target_kind(self) -> str:
+        if self is EdgeKindSpec.RFE:
+            return "R"
+        if self is EdgeKindSpec.FRE:
+            return "W"
+        if self is EdgeKindSpec.WSE:
+            return "W"
+        return self.value[-1]
+
+
+@dataclass(frozen=True)
+class GeneratedTest:
+    """The synthesis result: a litmus test plus the cycle metadata."""
+
+    test: LitmusTest
+    cycle: tuple[EdgeKindSpec, ...]
+    pod_edges: tuple[EdgeKindSpec, ...]
+
+
+def _validate_cycle(cycle: tuple[EdgeKindSpec, ...]) -> None:
+    if len(cycle) < 2:
+        raise ProgramError("a cycle needs at least two edges")
+    if not any(edge.external for edge in cycle):
+        raise ProgramError("a cycle needs at least one communication edge")
+    if not any(not edge.external for edge in cycle):
+        raise ProgramError("a cycle needs at least one program-order edge")
+    for position, edge in enumerate(cycle):
+        following = cycle[(position + 1) % len(cycle)]
+        if edge.target_kind != following.source_kind:
+            raise ProgramError(
+                f"edge {edge.value} (target {edge.target_kind}) cannot precede "
+                f"{following.value} (source {following.source_kind})"
+            )
+    # Consecutive coherence edges would need three-writer final-memory
+    # conditions; everything else chains soundly.
+    for position, edge in enumerate(cycle):
+        following = cycle[(position + 1) % len(cycle)]
+        if edge is EdgeKindSpec.WSE and following is EdgeKindSpec.WSE:
+            raise ProgramError("consecutive Wse edges are not supported")
+
+
+def generate(cycle: list[EdgeKindSpec] | tuple[EdgeKindSpec, ...], name: str | None = None) -> GeneratedTest:
+    """Synthesize a litmus test from a cycle of edges.
+
+    Threads break at external edges; addresses change at program-order
+    edges and are shared across each external edge.  Every write stores a
+    unique non-zero value.
+    """
+    cycle = tuple(cycle)
+    _validate_cycle(cycle)
+    if name is None:
+        name = "+".join(edge.value for edge in cycle)
+
+    # Rotate so the cycle starts right after an external edge — thread
+    # boundaries then fall between events cleanly.
+    first_external = next(i for i, edge in enumerate(cycle) if edge.external)
+    rotated = cycle[first_external + 1 :] + cycle[: first_external + 1]
+
+    event_count = len(rotated)
+    addresses: list[str] = []
+    address_index = 0
+    for position in range(event_count):
+        addresses.append(f"loc{address_index}")
+        edge = rotated[position]
+        if not edge.external:
+            address_index += 1
+    # The final edge returns to event 0: if it is external it must share
+    # event 0's address — rename the last address accordingly.
+    if rotated[-1].external:
+        last = addresses[-1]
+        addresses = [addresses[0] if a == last else a for a in addresses]
+
+    # Pod/Fen edges are *different-address* program-order edges by
+    # definition, and the whole prediction theory assumes each thread
+    # touches each address at most once.  Some cycles (e.g. Rfe+Fre
+    # sharing the read's location) collapse the address alternation so
+    # that two events of one thread hit the same address, creating
+    # implicit same-address po enforcement outside the edge vocabulary.
+    # Reject those cycles.
+    for position in range(event_count):
+        for other in range(position + 1, event_count):
+            if (
+                addresses[position] == addresses[other]
+                and _thread_of(rotated, position) == _thread_of(rotated, other)
+            ):
+                raise ProgramError(
+                    f"cycle collapses events {position} and {other} onto the "
+                    f"same thread and address ({addresses[position]}); not "
+                    f"representable with Pod/Fen edges"
+                )
+
+    # Event kinds: event i's kind is rotated[i-1].target_kind == rotated[i].source_kind.
+    kinds = [rotated[position].source_kind for position in range(event_count)]
+
+    builder = ProgramBuilder(name)
+    thread = builder.thread()
+    register_counter = 0
+    value_counter = 0
+    store_values: dict[int, int] = {}
+    registers: dict[int, str] = {}
+
+    for position in range(event_count):
+        kind = kinds[position]
+        address = addresses[position]
+        if kind == "W":
+            value_counter += 1
+            store_values[position] = value_counter
+            thread.store(address, value_counter)
+        else:
+            register_counter += 1
+            registers[position] = f"r{register_counter}"
+            thread.load(registers[position], address)
+        edge = rotated[position]
+        if position + 1 < event_count:
+            if edge.external:
+                thread = builder.thread()
+            elif edge.fenced:
+                thread.fence()
+        elif edge.fenced:
+            # Final edge wraps to event 0 in the FIRST thread: a trailing
+            # same-thread fence would be wrong; the cycle rotation above
+            # guarantees the final edge is external, so this cannot occur.
+            raise ProgramError("internal: rotated cycle must end externally")
+
+    # Conditions per edge.
+    atoms: list[str] = []
+    for position in range(event_count):
+        edge = rotated[position]
+        target = (position + 1) % event_count
+        if edge is EdgeKindSpec.RFE:
+            atoms.append(f"P{_thread_of(rotated, target)}:{registers[target]}={store_values[position]}")
+        elif edge is EdgeKindSpec.FRE:
+            atoms.append(f"P{_thread_of(rotated, position)}:{registers[position]}=0")
+        elif edge is EdgeKindSpec.WSE:
+            atoms.append(f"[{addresses[target]}]={store_values[target]}")
+    condition_text = "exists (" + " /\\ ".join(atoms) + ")"
+
+    test = LitmusTest(
+        name=name,
+        program=builder.build(),
+        condition=parse_condition(condition_text),
+        description=f"generated from cycle {'+'.join(e.value for e in cycle)}",
+    )
+    pods = tuple(edge for edge in cycle if not edge.external and not edge.fenced)
+    return GeneratedTest(test, cycle, pods)
+
+
+def _thread_of(rotated: tuple[EdgeKindSpec, ...], event: int) -> int:
+    """Thread index of an event (threads break after external edges)."""
+    breaks = 0
+    for position in range(event):
+        if rotated[position].external:
+            breaks += 1
+    return breaks
+
+
+_KIND_CLASS = {"R": OpClass.LOAD, "W": OpClass.STORE}
+
+
+def predict_verdict(generated: GeneratedTest, model: MemoryModel | str) -> bool:
+    """Predicted observability of the generated condition under ``model``.
+
+    A critical cycle forbids its outcome iff *every* edge is globally
+    enforced; communication edges always are (Store Atomicity), and a
+    fenced po edge always is, so the outcome is observable iff **at
+    least one** plain Pod edge is relaxable under the model — its
+    different-address ordering requirement is not ALWAYS (SAME_ADDRESS
+    entries do not bind different-address pairs).
+    """
+    if isinstance(model, str):
+        model = get_model(model)
+    for edge in generated.pod_edges:
+        first = _KIND_CLASS[edge.source_kind]
+        second = _KIND_CLASS[edge.target_kind]
+        if model.class_requirement(first, second) is not OrderRequirement.ALWAYS:
+            return True
+    return False

@@ -1,0 +1,871 @@
+"""The classic litmus-test library.
+
+Each test is written in the textual assembly format (exercising the
+assembler) with a herd-style condition and the expected verdict per
+model.  Expectations follow the standard literature (Adve & Gharachorloo,
+the SPARC V9 manual, herd's catalogue) adapted to this paper's models:
+
+* ``sc``   — sequential consistency,
+* ``tso``  — SPARC TSO with store-to-load forwarding,
+* ``pso``  — SPARC PSO,
+* ``weak`` — the paper's Figure 1 model (note: same-address load-load
+  reordering is *allowed*, so CoRR is observable — a deliberate property
+  of the paper's model),
+* ``weak-corr`` — WEAK plus same-address load-load ordering.
+
+All tests here use constant addresses; the pointer/aliasing tests live in
+:mod:`repro.experiments.fig89`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.litmus.test import LitmusTest, litmus_from_source
+
+_CATALOG: dict[str, LitmusTest] = {}
+
+
+def _define(source: str, expected: dict[str, bool], description: str) -> None:
+    test = litmus_from_source(source, expected, description)
+    if test.name in _CATALOG:
+        raise ReproError(f"duplicate litmus test {test.name!r}")
+    _CATALOG[test.name] = test
+
+
+# ----------------------------------------------------------------------
+# Store buffering (Dekker's core) and fenced variant
+
+_define(
+    """
+    test SB
+    thread P0
+        S x, 1
+        r1 = L y
+    thread P1
+        S y, 1
+        r2 = L x
+    exists (P0:r1=0 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": True, "pso": True, "weak": True, "weak-corr": True},
+    "Store buffering: both loads miss both stores; the first TSO/SC divider.",
+)
+
+_define(
+    """
+    test SB+fences
+    thread P0
+        S x, 1
+        fence
+        r1 = L y
+    thread P1
+        S y, 1
+        fence
+        r2 = L x
+    exists (P0:r1=0 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "SB with full fences: forbidden in every model here.",
+)
+
+# ----------------------------------------------------------------------
+# Message passing family
+
+_define(
+    """
+    test MP
+    thread P0
+        S x, 1
+        S flag, 1
+    thread P1
+        r1 = L flag
+        r2 = L x
+    exists (P1:r1=1 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": True, "weak": True, "weak-corr": True},
+    "Message passing without fences: needs S-S and L-L program order.",
+)
+
+_define(
+    """
+    test MP+fences
+    thread P0
+        S x, 1
+        fence
+        S flag, 1
+    thread P1
+        r1 = L flag
+        fence
+        r2 = L x
+    exists (P1:r1=1 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "MP with both fences: forbidden everywhere.",
+)
+
+_define(
+    """
+    test MP+wfence
+    thread P0
+        S x, 1
+        fence
+        S flag, 1
+    thread P1
+        r1 = L flag
+        r2 = L x
+    exists (P1:r1=1 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": True, "weak-corr": True},
+    "MP with only the writer fenced: the reader's load-load reordering "
+    "still breaks it under WEAK.",
+)
+
+_define(
+    """
+    test MP+addr
+    init flag=z
+    thread P0
+        S x, 1
+        fence
+        S flag, x
+    thread P1
+        r1 = L flag
+        r2 = L r1
+    exists (P1:r1=x /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "MP via a published pointer: the reader's address dependency orders "
+    "the loads even under WEAK (a true data dependency, not droppable "
+    "by aliasing speculation).",
+)
+
+# ----------------------------------------------------------------------
+# Load buffering family
+
+_define(
+    """
+    test LB
+    thread P0
+        r1 = L y
+        S x, 1
+    thread P1
+        r2 = L x
+        S y, 1
+    exists (P0:r1=1 /\\ P1:r2=1)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": True, "weak-corr": True},
+    "Load buffering: loads see the other thread's later store; requires "
+    "L-S reordering (WEAK only).",
+)
+
+_define(
+    """
+    test LB+data
+    thread P0
+        r1 = L y
+        S x, r1
+    thread P1
+        r2 = L x
+        S y, r2
+    exists (P0:r1=1 /\\ P1:r2=1)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "LB with data dependencies: the out-of-thin-air test; no model here "
+    "can conjure the value 1.",
+)
+
+# ----------------------------------------------------------------------
+# Independent reads of independent writes (store atomicity's signature)
+
+_define(
+    """
+    test IRIW
+    thread P0
+        S x, 1
+    thread P1
+        S y, 1
+    thread P2
+        r1 = L x
+        r2 = L y
+    thread P3
+        r3 = L y
+        r4 = L x
+    exists (P2:r1=1 /\\ P2:r2=0 /\\ P3:r3=1 /\\ P3:r4=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": True, "weak-corr": True},
+    "IRIW without fences: observable under WEAK only via load reordering.",
+)
+
+_define(
+    """
+    test IRIW+fences
+    thread P0
+        S x, 1
+    thread P1
+        S y, 1
+    thread P2
+        r1 = L x
+        fence
+        r2 = L y
+    thread P3
+        r3 = L y
+        fence
+        r4 = L x
+    exists (P2:r1=1 /\\ P2:r2=0 /\\ P3:r3=1 /\\ P3:r4=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "IRIW with fences: forbidden by Store Atomicity itself — the two "
+    "readers cannot disagree on the store order.  The signature property "
+    "of every store-atomic model (paper §3).",
+)
+
+_define(
+    """
+    test WRC
+    thread P0
+        S x, 1
+    thread P1
+        r1 = L x
+        S y, 1
+    thread P2
+        r2 = L y
+        fence
+        r3 = L x
+    exists (P1:r1=1 /\\ P2:r2=1 /\\ P2:r3=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": True, "weak-corr": True},
+    "Write-to-read causality: hinges on P1's load-store order (WEAK "
+    "reorders it).",
+)
+
+_define(
+    """
+    test WRC+fences
+    thread P0
+        S x, 1
+    thread P1
+        r1 = L x
+        fence
+        S y, 1
+    thread P2
+        r2 = L y
+        fence
+        r3 = L x
+    exists (P1:r1=1 /\\ P2:r2=1 /\\ P2:r3=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "WRC fully fenced: store atomicity makes causality transitive.",
+)
+
+# ----------------------------------------------------------------------
+# Two-writer shapes with final-memory conditions
+
+_define(
+    """
+    test 2+2W
+    thread P0
+        S x, 1
+        S y, 2
+    thread P1
+        S y, 1
+        S x, 2
+    exists ([x]=1 /\\ [y]=1)
+    """,
+    {"sc": False, "tso": False, "pso": True, "weak": True, "weak-corr": True},
+    "2+2W: both second stores lose; needs store-store reordering.",
+)
+
+_define(
+    """
+    test R
+    thread P0
+        S x, 1
+        S y, 1
+    thread P1
+        S y, 2
+        r1 = L x
+    exists (P1:r1=0 /\\ [y]=2)
+    """,
+    {"sc": False, "tso": True, "pso": True, "weak": True, "weak-corr": True},
+    "Test R: store-load reordering in P1 suffices (observable on TSO).",
+)
+
+_define(
+    """
+    test S
+    thread P0
+        S x, 2
+        S y, 1
+    thread P1
+        r1 = L y
+        S x, 1
+    exists (P1:r1=1 /\\ [x]=2)
+    """,
+    {"sc": False, "tso": False, "pso": True, "weak": True, "weak-corr": True},
+    "Test S: needs P0's store-store (PSO) or P1's load-store (WEAK) "
+    "reordering.",
+)
+
+# ----------------------------------------------------------------------
+# Coherence shapes
+
+_define(
+    """
+    test CoRR
+    thread P0
+        S x, 1
+    thread P1
+        r1 = L x
+        r2 = L x
+    exists (P1:r1=1 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": True, "weak-corr": False},
+    "Coherent read-read: the paper's WEAK model deliberately allows "
+    "same-address load-load reordering, so this IS observable under it "
+    "— the weak-corr variant restores the ordering.",
+)
+
+_define(
+    """
+    test CoWW
+    thread P0
+        S x, 1
+        S x, 2
+    exists ([x]=1)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "Coherent write-write: same-address stores never reorder (the x≠y "
+    "table entries).",
+)
+
+_define(
+    """
+    test CoWR
+    thread P0
+        S x, 1
+        r1 = L x
+    thread P1
+        S x, 2
+    exists (P0:r1=2 /\\ [x]=1)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "Coherent write-read: observing the remote overwrite orders the local "
+    "store before it (Store Atomicity rule a), fixing the final value.",
+)
+
+# ----------------------------------------------------------------------
+# Atomics and locking
+
+_define(
+    """
+    test INC+INC
+    thread P0
+        r1 = fadd c, 1
+    thread P1
+        r2 = fadd c, 1
+    forall ([c]=2)
+    """,
+    {"sc": True, "tso": True, "pso": True, "weak": True, "weak-corr": True},
+    "Two fetch-and-adds always sum: RMW atomicity in every model.",
+)
+
+_define(
+    """
+    test CAS-lock
+    thread P0
+        r1 = cas l, 0, 1
+        bnez r1, out0
+        r3 = fadd c, 1
+    out0:
+    thread P1
+        r2 = cas l, 0, 1
+        bnez r2, out1
+        r4 = fadd c, 1
+    out1:
+    forall ([c]=1 /\\ [l]=1)
+    """,
+    {"sc": True, "tso": True, "pso": True, "weak": True, "weak-corr": True},
+    "One-shot CAS lock: exactly one thread wins in every model — the "
+    "paper's 'check that a locking algorithm meets its specification'.",
+)
+
+_define(
+    """
+    test dekker
+    thread P0
+        S fa, 1
+        fence
+        r1 = L fb
+        bnez r1, out0
+        r3 = fadd c, 1
+    out0:
+    thread P1
+        S fb, 1
+        fence
+        r2 = L fa
+        bnez r2, out1
+        r4 = fadd c, 1
+    out1:
+    exists ([c]=2)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "Dekker-style entry with fences: mutual exclusion holds everywhere.",
+)
+
+_define(
+    """
+    test dekker-nofence
+    thread P0
+        S fa, 1
+        r1 = L fb
+        bnez r1, out0
+        r3 = fadd c, 1
+    out0:
+    thread P1
+        S fb, 1
+        r2 = L fa
+        bnez r2, out1
+        r4 = fadd c, 1
+    out1:
+    exists ([c]=2)
+    """,
+    {"sc": False, "tso": True, "pso": True, "weak": True, "weak-corr": True},
+    "Dekker without fences: broken by store-load reordering — the classic "
+    "TSO pitfall.",
+)
+
+_define(
+    """
+    test SB+rmw
+    thread P0
+        r1 = xchg x, 1
+        r2 = L y
+    thread P1
+        r3 = xchg y, 1
+        r4 = L x
+    exists (P0:r2=0 /\\ P1:r4=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": True, "weak-corr": True},
+    "SB with atomic exchanges: atomics drain TSO/PSO buffers, but under "
+    "WEAK an RMW and a later load to a different address still reorder.",
+)
+
+
+# ----------------------------------------------------------------------
+# Fenced variants of the two-writer shapes
+
+_define(
+    """
+    test S+fences
+    thread P0
+        S x, 2
+        fence
+        S y, 1
+    thread P1
+        r1 = L y
+        fence
+        S x, 1
+    exists (P1:r1=1 /\\ [x]=2)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "Test S fully fenced: forbidden everywhere.",
+)
+
+_define(
+    """
+    test R+fences
+    thread P0
+        S x, 1
+        fence
+        S y, 1
+    thread P1
+        S y, 2
+        fence
+        r1 = L x
+    exists (P1:r1=0 /\\ [y]=2)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "Test R with a store-load fence in P1: forbidden everywhere.",
+)
+
+_define(
+    """
+    test 2+2W+fences
+    thread P0
+        S x, 1
+        fence
+        S y, 2
+    thread P1
+        S y, 1
+        fence
+        S x, 2
+    exists ([x]=1 /\\ [y]=1)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "2+2W with store-store fences: forbidden everywhere.",
+)
+
+_define(
+    """
+    test 3.2W
+    thread P0
+        S x, 1
+        S y, 2
+    thread P1
+        S y, 1
+        S z, 2
+    thread P2
+        S z, 1
+        S x, 2
+    exists ([x]=1 /\\ [y]=1 /\\ [z]=1)
+    """,
+    {"sc": False, "tso": False, "pso": True, "weak": True, "weak-corr": True},
+    "Three-thread write cycle: every second store loses; needs "
+    "store-store reordering (PSO/WEAK).",
+)
+
+# ----------------------------------------------------------------------
+# Causality shapes
+
+_define(
+    """
+    test RWC
+    thread P0
+        S x, 1
+    thread P1
+        r1 = L x
+        fence
+        r2 = L y
+    thread P2
+        S y, 1
+        r3 = L x
+    exists (P1:r1=1 /\\ P1:r2=0 /\\ P2:r3=0)
+    """,
+    {"sc": False, "tso": True, "pso": True, "weak": True, "weak-corr": True},
+    "Read-write causality: P2's store-load reordering suffices, so it IS "
+    "observable on TSO (unlike IRIW).",
+)
+
+_define(
+    """
+    test WWC+fences
+    thread P0
+        S x, 2
+    thread P1
+        r1 = L x
+        fence
+        S y, 1
+    thread P2
+        r2 = L y
+        fence
+        S x, 1
+    exists (P1:r1=2 /\\ P2:r2=1 /\\ [x]=2)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "Write-write causality: the observation chain orders S x,2 ⊑ S x,1 "
+    "(rules a/b through the fences), so x cannot finish as 2 — forbidden "
+    "by Store Atomicity in every model.",
+)
+
+_define(
+    """
+    test LB+fences
+    thread P0
+        r1 = L y
+        fence
+        S x, 1
+    thread P1
+        r2 = L x
+        fence
+        S y, 1
+    exists (P0:r1=1 /\\ P1:r2=1)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "LB with load-store fences: forbidden everywhere.",
+)
+
+# ----------------------------------------------------------------------
+# Fine-grained fence discrimination
+
+_define(
+    """
+    test SB+stld
+    thread P0
+        S x, 1
+        fence st-ld
+        r1 = L y
+    thread P1
+        S y, 1
+        fence st-ld
+        r2 = L x
+    exists (P0:r1=0 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "SB with the *minimal* store-load fence: already forbidden — the "
+    "exact fence TSO programmers need.",
+)
+
+_define(
+    """
+    test SB+ldld
+    thread P0
+        S x, 1
+        fence ld-ld
+        r1 = L y
+    thread P1
+        S y, 1
+        fence ld-ld
+        r2 = L x
+    exists (P0:r1=0 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": True, "pso": True, "weak": True, "weak-corr": True},
+    "SB with the WRONG fence kind (load-load): the store-load reordering "
+    "survives, so the relaxed outcome remains observable.",
+)
+
+_define(
+    """
+    test MP+minfences
+    thread P0
+        S x, 1
+        fence st-st
+        S flag, 1
+    thread P1
+        r1 = L flag
+        fence ld-ld
+        r2 = L x
+    exists (P1:r1=1 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "MP with exactly the two fence kinds it needs (st-st writer, ld-ld "
+    "reader): forbidden everywhere.",
+)
+
+# ----------------------------------------------------------------------
+# Control dependencies
+
+_define(
+    """
+    test MP+ctrl
+    thread P0
+        S x, 1
+        fence
+        S flag, 1
+    thread P1
+        r1 = L flag
+        beqz r1, skip
+        r2 = L x
+    skip:
+    exists (P1:r1=1 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": True, "weak-corr": True},
+    "MP guarded only by a branch: WEAK has no control-to-load ordering "
+    "(Branch's 'never' entry covers Stores only), so the stale read "
+    "survives the guard.",
+)
+
+_define(
+    """
+    test MP+ctrl+fence
+    thread P0
+        S x, 1
+        fence
+        S flag, 1
+    thread P1
+        r1 = L flag
+        beqz r1, skip
+        fence
+        r2 = L x
+    skip:
+    exists (P1:r1=1 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "Branch guard plus a fence: forbidden everywhere — the fence supplies "
+    "the ordering the branch alone cannot.",
+)
+
+_define(
+    """
+    test CoRW1
+    thread P0
+        r1 = L x
+        S x, 1
+    exists (P0:r1=1)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "A load may never observe its own thread's later store (the x≠y "
+    "Load/Store entry keeps them ordered).",
+)
+
+
+# ----------------------------------------------------------------------
+# Acquire/release access annotations (half fences)
+
+_define(
+    """
+    test MP+ra
+    thread P0
+        S x, 1
+        S.rel flag, 1
+    thread P1
+        r1 = L.acq flag
+        r2 = L x
+    exists (P1:r1=1 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "MP with a release store and an acquire load: the half fences are "
+    "exactly what message passing needs — forbidden everywhere.",
+)
+
+_define(
+    """
+    test SB+ra
+    thread P0
+        S.rel x, 1
+        r1 = L.acq y
+    thread P1
+        S.rel y, 1
+        r2 = L.acq x
+    exists (P0:r1=0 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": True, "pso": True, "weak": True, "weak-corr": True},
+    "SB with release/acquire everywhere: still observable — RA never "
+    "orders a store before a later load (the classic 'RA < SC').",
+)
+
+_define(
+    """
+    test LB+acq
+    thread P0
+        r1 = L.acq y
+        S x, 1
+    thread P1
+        r2 = L.acq x
+        S y, 1
+    exists (P0:r1=1 /\\ P1:r2=1)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "LB with acquire loads: the acquire half-fence supplies the "
+    "load-store ordering WEAK lacks.",
+)
+
+_define(
+    """
+    test lock-handoff
+    init lock=1
+    thread P0
+        S data, 42
+        S.rel lock, 0
+    thread P1
+        r1 = cas.acq lock, 0, 1
+        r2 = L data
+    exists (P1:r1=0 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "Lock handoff: a taker that acquires the released lock always sees "
+    "the protected data (release/acquire on the lock word suffice).",
+)
+
+
+_define(
+    """
+    test WRC+data
+    thread P0
+        S x, 1
+    thread P1
+        r1 = L x
+        S y, r1
+    thread P2
+        r2 = L y
+        fence
+        r3 = L x
+    exists (P2:r2=1 /\\ P2:r3=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "WRC with a data dependency in the middle thread: the register flow "
+    "orders the load before the store even under WEAK.",
+)
+
+_define(
+    """
+    test IRIW+acq
+    thread P0
+        S x, 1
+    thread P1
+        S y, 1
+    thread P2
+        r1 = L.acq x
+        r2 = L y
+    thread P3
+        r3 = L.acq y
+        r4 = L x
+    exists (P2:r1=1 /\\ P2:r2=0 /\\ P3:r3=1 /\\ P3:r4=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": False, "weak-corr": False},
+    "IRIW with acquire first loads: the half fence restores load-load "
+    "order, and Store Atomicity does the rest.",
+)
+
+_define(
+    """
+    test 2+2W+rmw
+    thread P0
+        r1 = xchg x, 1
+        r2 = xchg y, 2
+    thread P1
+        r3 = xchg y, 1
+        r4 = xchg x, 2
+    exists ([x]=1 /\\ [y]=1)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": True, "weak-corr": True},
+    "2+2W with atomic exchanges: atomics drain TSO/PSO buffers, but under "
+    "WEAK two RMWs to different addresses still reorder.",
+)
+
+_define(
+    """
+    test MP+relonly
+    thread P0
+        S x, 1
+        S.rel flag, 1
+    thread P1
+        r1 = L flag
+        r2 = L x
+    exists (P1:r1=1 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": False, "weak": True, "weak-corr": True},
+    "MP with only the writer's release: PSO is fixed (loads were already "
+    "ordered) but WEAK's reader still reorders its loads.",
+)
+
+_define(
+    """
+    test MP+acqonly
+    thread P0
+        S x, 1
+        S flag, 1
+    thread P1
+        r1 = L.acq flag
+        r2 = L x
+    exists (P1:r1=1 /\\ P1:r2=0)
+    """,
+    {"sc": False, "tso": False, "pso": True, "weak": True, "weak-corr": True},
+    "MP with only the reader's acquire: the writer's store-store "
+    "reordering (PSO/WEAK) still breaks it.",
+)
+
+
+def all_tests() -> list[LitmusTest]:
+    """Every test in the library, in definition order."""
+    return list(_CATALOG.values())
+
+
+def test_names() -> tuple[str, ...]:
+    return tuple(_CATALOG)
+
+
+def get_test(name: str) -> LitmusTest:
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        known = ", ".join(_CATALOG)
+        raise ReproError(f"unknown litmus test {name!r}; known tests: {known}") from None

@@ -1,0 +1,112 @@
+"""Run litmus tests against memory models and judge their conditions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.enumerate import EnumerationLimits, EnumerationResult, enumerate_behaviors
+from repro.litmus.finalstate import realizable_final_memory
+from repro.litmus.test import LitmusTest
+from repro.models.base import MemoryModel
+from repro.models.registry import get_model
+
+
+@dataclass
+class LitmusVerdict:
+    """The result of running one litmus test under one model."""
+
+    test: LitmusTest
+    model: MemoryModel
+    executions: int  #: distinct executions enumerated
+    total_pairs: int  #: (execution, final-memory assignment) pairs judged
+    satisfied_pairs: int  #: pairs satisfying the condition expression
+    holds: bool  #: quantified condition verdict
+    expected: bool | None  #: expectation from the test, if any
+    result: EnumerationResult
+
+    @property
+    def matches_expectation(self) -> bool | None:
+        if self.expected is None:
+            return None
+        return self.holds == self.expected
+
+    def summary(self) -> str:
+        mark = {True: "ok", False: "MISMATCH", None: "-"}[self.matches_expectation]
+        return (
+            f"{self.test.name:<16} {self.model.name:<10} "
+            f"executions={self.executions:<5} {self.test.condition.quantifier:>7}: "
+            f"{'Yes' if self.holds else 'No':<3} [{mark}]"
+        )
+
+
+def run_litmus(
+    test: LitmusTest,
+    model: MemoryModel | str,
+    limits: EnumerationLimits | None = None,
+) -> LitmusVerdict:
+    """Enumerate the test's behaviors under ``model`` and judge the condition."""
+    if isinstance(model, str):
+        model = get_model(model)
+    result = enumerate_behaviors(test.program, model, limits)
+
+    locations = test.condition.locations()
+    total_pairs = 0
+    satisfied = 0
+    for execution in result.executions:
+        registers = execution.final_registers()
+        for assignment in realizable_final_memory(execution, locations):
+            total_pairs += 1
+            if test.condition.holds_in(registers, assignment):
+                satisfied += 1
+
+    return LitmusVerdict(
+        test=test,
+        model=model,
+        executions=len(result.executions),
+        total_pairs=total_pairs,
+        satisfied_pairs=satisfied,
+        holds=test.condition.judge(satisfied, total_pairs),
+        expected=test.expectation(model.name),
+        result=result,
+    )
+
+
+def run_matrix(
+    tests: list[LitmusTest],
+    model_names: tuple[str, ...],
+    limits: EnumerationLimits | None = None,
+) -> list[LitmusVerdict]:
+    """Run every test under every model (the TAB-LITMUS experiment)."""
+    verdicts = []
+    for test in tests:
+        for name in model_names:
+            verdicts.append(run_litmus(test, name, limits))
+    return verdicts
+
+
+def format_matrix(verdicts: list[LitmusVerdict]) -> str:
+    """Render verdicts as a test × model table (condition verdict, with
+    ``!`` marking an expectation mismatch)."""
+    tests: list[str] = []
+    models: list[str] = []
+    cells: dict[tuple[str, str], str] = {}
+    for verdict in verdicts:
+        if verdict.test.name not in tests:
+            tests.append(verdict.test.name)
+        if verdict.model.name not in models:
+            models.append(verdict.model.name)
+        text = "Yes" if verdict.holds else "No"
+        if verdict.matches_expectation is False:
+            text += "!"
+        cells[(verdict.test.name, verdict.model.name)] = text
+
+    name_width = max(len("test"), *(len(name) for name in tests)) + 2
+    column_width = max(6, *(len(name) for name in models)) + 2
+    header = "test".ljust(name_width) + "".join(m.ljust(column_width) for m in models)
+    lines = [header, "-" * len(header)]
+    for test_name in tests:
+        row = test_name.ljust(name_width)
+        for model_name in models:
+            row += cells.get((test_name, model_name), "?").ljust(column_width)
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Litmus tests: a program + a final-state condition + expectations.
+
+A :class:`LitmusTest` bundles a program with a herd-style condition and a
+table of *expected verdicts* per model — whether the condition's relaxed
+outcome should be observable — which the test suite and the litmus-matrix
+experiment check against the enumerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConditionError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.litmus.conditions import Condition, parse_condition
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named litmus test.
+
+    ``expected`` maps a model name to the expected truth of the
+    *condition* under that model (for ``exists`` conditions: is the
+    relaxed outcome observable?).  Models absent from the map carry no
+    expectation.  ``description`` says what the test discriminates.
+    """
+
+    name: str
+    program: Program
+    condition: Condition
+    expected: dict[str, bool] = field(default_factory=dict)
+    description: str = ""
+
+    def expectation(self, model_name: str) -> bool | None:
+        return self.expected.get(model_name)
+
+
+def litmus_from_source(
+    source: str,
+    expected: dict[str, bool] | None = None,
+    description: str = "",
+) -> LitmusTest:
+    """Assemble a litmus test from the textual format (the condition line
+    is mandatory here)."""
+    assembled = assemble(source)
+    if assembled.condition_text is None:
+        raise ConditionError(
+            f"litmus source for {assembled.program.name!r} has no condition line"
+        )
+    return LitmusTest(
+        name=assembled.program.name,
+        program=assembled.program,
+        condition=parse_condition(assembled.condition_text),
+        expected=dict(expected or {}),
+        description=description,
+    )

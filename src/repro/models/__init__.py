@@ -1,0 +1,25 @@
+"""Memory-model definitions: reordering tables + atomicity flavor."""
+
+from repro.models.base import MemoryModel, OrderRequirement, ReorderingTable
+from repro.models.pso import PSO
+from repro.models.registry import available_models, get_model, register_model
+from repro.models.sc import SC
+from repro.models.tso import NAIVE_TSO, TSO
+from repro.models.weak import WEAK, WEAK_CORR, WEAK_SPEC, speculative
+
+__all__ = [
+    "MemoryModel",
+    "OrderRequirement",
+    "ReorderingTable",
+    "SC",
+    "TSO",
+    "NAIVE_TSO",
+    "PSO",
+    "WEAK",
+    "WEAK_SPEC",
+    "WEAK_CORR",
+    "speculative",
+    "available_models",
+    "get_model",
+    "register_model",
+]

@@ -1,0 +1,79 @@
+"""Model explainer: everything one model means, computed live.
+
+Combines the static definition (the reordering table, flags) with the
+model's *litmus signature* — which canonical relaxations it exhibits,
+determined by actually enumerating the discriminating tests.  This is
+the "easy to understand memory model" artifact the paper's conclusion
+asks vendor manuals for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.base import MemoryModel
+from repro.models.registry import get_model
+
+#: The discriminating tests and the relaxation each one witnesses.
+SIGNATURE_TESTS = (
+    ("SB", "store→load reordering (store buffering)"),
+    ("MP", "store→store or load→load reordering (message passing breaks)"),
+    ("LB", "load→store reordering (load buffering)"),
+    ("CoRR", "same-address load→load reordering (read incoherence)"),
+    ("2+2W", "store→store reordering observable via final memory"),
+    ("IRIW", "load→load reordering across independent writers"),
+)
+
+
+@dataclass(frozen=True)
+class ModelCard:
+    """A model's full description."""
+
+    name: str
+    description: str
+    store_load_bypass: bool
+    speculative_aliasing: bool
+    table_text: str
+    signature: tuple[tuple[str, bool], ...]  #: (test name, observable?)
+
+    def render(self) -> str:
+        lines = [f"model {self.name!r}", f"  {self.description}"]
+        flags = []
+        if self.store_load_bypass:
+            flags.append("non-atomic store-to-load forwarding (grey bypass edges)")
+        if self.speculative_aliasing:
+            flags.append("address-aliasing speculation (rollback on mispredict)")
+        for flag in flags:
+            lines.append(f"  * {flag}")
+        lines.append("")
+        lines.append(self.table_text)
+        lines.append("")
+        lines.append("litmus signature (is the relaxed outcome observable?):")
+        for test_name, observable in self.signature:
+            explanation = dict(SIGNATURE_TESTS)[test_name]
+            lines.append(
+                f"  {test_name:<6} {'Yes' if observable else 'No ':<4} {explanation}"
+            )
+        return "\n".join(lines)
+
+
+def model_card(model: MemoryModel | str) -> ModelCard:
+    """Build the card, enumerating the signature tests under the model."""
+    from repro.experiments.fig1 import render_table
+    from repro.litmus.library import get_test
+    from repro.litmus.runner import run_litmus
+
+    if isinstance(model, str):
+        model = get_model(model)
+    signature = tuple(
+        (test_name, run_litmus(get_test(test_name), model).holds)
+        for test_name, _ in SIGNATURE_TESTS
+    )
+    return ModelCard(
+        name=model.name,
+        description=model.description,
+        store_load_bypass=model.store_load_bypass,
+        speculative_aliasing=model.speculative_aliasing,
+        table_text=render_table(model),
+        signature=signature,
+    )

@@ -1,0 +1,28 @@
+"""Partial Store Order (SPARC PSO).
+
+Like TSO, but the store buffer is not FIFO across addresses: Store→Store
+pairs to *different* addresses may also reorder.  Same-address stores stay
+ordered (coherence), loads keep program order, and store-to-load
+forwarding uses the same grey-edge treatment as TSO.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import OpClass
+from repro.models.base import MemoryModel, OrderRequirement, ReorderingTable
+
+#: SPARC Partial Store Order.
+PSO = MemoryModel(
+    name="pso",
+    table=ReorderingTable(
+        {
+            (OpClass.LOAD, OpClass.LOAD): OrderRequirement.ALWAYS,
+            (OpClass.LOAD, OpClass.STORE): OrderRequirement.ALWAYS,
+            (OpClass.STORE, OpClass.STORE): OrderRequirement.SAME_ADDRESS,
+            (OpClass.BRANCH, OpClass.STORE): OrderRequirement.ALWAYS,
+        }
+    ),
+    store_load_bypass=True,
+    description="SPARC Partial Store Order: per-address store buffering "
+    "with forwarding; stores to distinct addresses may reorder.",
+)

@@ -1,0 +1,37 @@
+"""Model registry: look up memory models by name."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.models.base import MemoryModel
+from repro.models.pso import PSO
+from repro.models.sc import SC
+from repro.models.tso import NAIVE_TSO, TSO
+from repro.models.weak import WEAK, WEAK_CORR, WEAK_SPEC
+
+_MODELS: dict[str, MemoryModel] = {
+    model.name: model
+    for model in (SC, TSO, NAIVE_TSO, PSO, WEAK, WEAK_SPEC, WEAK_CORR)
+}
+
+
+def get_model(name: str) -> MemoryModel:
+    """Look up a model by name (``sc``, ``tso``, ``naive-tso``, ``pso``,
+    ``weak``, ``weak-spec``, ``weak-corr``)."""
+    try:
+        return _MODELS[name]
+    except KeyError:
+        known = ", ".join(sorted(_MODELS))
+        raise ReproError(f"unknown memory model {name!r}; known models: {known}") from None
+
+
+def available_models() -> tuple[str, ...]:
+    """Names of all registered models, sorted."""
+    return tuple(sorted(_MODELS))
+
+
+def register_model(model: MemoryModel) -> None:
+    """Register a user-defined model; refuses to overwrite an existing name."""
+    if model.name in _MODELS:
+        raise ReproError(f"model {model.name!r} is already registered")
+    _MODELS[model.name] = model

@@ -1,0 +1,32 @@
+"""Sequential Consistency as a reordering table.
+
+SC is the degenerate case of the framework: no memory reorderings at all
+(every pair of memory operations keeps program order), so the per-thread
+partial order ``≺`` is total on memory operations, and Store Atomicity
+reduces to Lamport's classic definition.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import OpClass
+from repro.models.base import MemoryModel, OrderRequirement, ReorderingTable
+
+_MEMORY = (OpClass.LOAD, OpClass.STORE)
+
+_SC_ENTRIES = {
+    (first, second): OrderRequirement.ALWAYS for first in _MEMORY for second in _MEMORY
+}
+_SC_ENTRIES.update(
+    {
+        (OpClass.BRANCH, OpClass.LOAD): OrderRequirement.ALWAYS,
+        (OpClass.BRANCH, OpClass.STORE): OrderRequirement.ALWAYS,
+    }
+)
+
+#: Sequential Consistency (Lamport 1979).
+SC = MemoryModel(
+    name="sc",
+    table=ReorderingTable(_SC_ENTRIES),
+    description="Sequential Consistency: program order preserved between "
+    "all memory operations.",
+)

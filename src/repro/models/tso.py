@@ -1,0 +1,48 @@
+"""Total Store Order (SPARC TSO) — the paper's non-atomic model (§6).
+
+TSO keeps all program orderings except Store→Load, which is relaxed by
+the store buffer.  The non-atomic part is store-to-load *forwarding*: a
+load may observe a program-earlier local store before that store is
+globally visible.  In the framework this source edge is grey (``BYPASS``)
+and does not participate in the ``⊑`` ordering; a load that instead
+observes a remote store acquires a real ``≺`` edge from each
+program-earlier same-address local store (its buffered stores must have
+drained first).
+
+``NAIVE_TSO`` is the strawman from Figure 11 (center): Store→Load simply
+relaxed with the source edge kept in ``⊑``.  It is *wrong* — the paper
+uses it to show that globally-applicable reordering rules alone cannot
+capture TSO — and is provided so the experiment can reproduce exactly
+that failure.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import OpClass
+from repro.models.base import MemoryModel, OrderRequirement, ReorderingTable
+
+_TSO_ENTRIES = {
+    (OpClass.LOAD, OpClass.LOAD): OrderRequirement.ALWAYS,
+    (OpClass.LOAD, OpClass.STORE): OrderRequirement.ALWAYS,
+    (OpClass.STORE, OpClass.STORE): OrderRequirement.ALWAYS,
+    (OpClass.BRANCH, OpClass.STORE): OrderRequirement.ALWAYS,
+}
+
+#: SPARC TSO with correct (grey-edge) store-to-load bypass.
+TSO = MemoryModel(
+    name="tso",
+    table=ReorderingTable(_TSO_ENTRIES),
+    store_load_bypass=True,
+    description="SPARC Total Store Order: FIFO store buffer with forwarding; "
+    "bypass source edges excluded from ⊑ (paper §6).",
+)
+
+#: The incorrect strawman of Figure 11 (center): Store→Load relaxed but the
+#: bypass edge treated as an ordinary store-atomic source edge.
+NAIVE_TSO = MemoryModel(
+    name="naive-tso",
+    table=ReorderingTable(_TSO_ENTRIES),
+    store_load_bypass=False,
+    description="Figure 11 strawman: Store→Load reordering without grey "
+    "bypass edges — rejects executions real TSO permits.",
+)

@@ -1,0 +1,72 @@
+"""The paper's relaxed model (Figure 1, "Weak Reordering Axioms").
+
+Entries (beyond always-present data dependencies):
+
+* the three ``x ≠ y`` entries — Store/Load, Store/Store and Load/Store
+  pairs to the same address may never be reordered ("this ensures that
+  single-threaded execution will be deterministic"),
+* Loads to the *same address* may reorder (no L→L entry) — a deliberate
+  property of the paper's model,
+* ``never`` for Branch→Store — "Stores after a speculative branch are not
+  made visible until the speculation is resolved",
+* fences order all prior Loads/Stores before all subsequent Loads/Stores
+  (carried by the fence machinery, not the table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.isa.instructions import OpClass
+from repro.models.base import MemoryModel, OrderRequirement, ReorderingTable
+
+_WEAK_TABLE = ReorderingTable(
+    {
+        (OpClass.LOAD, OpClass.STORE): OrderRequirement.SAME_ADDRESS,
+        (OpClass.STORE, OpClass.LOAD): OrderRequirement.SAME_ADDRESS,
+        (OpClass.STORE, OpClass.STORE): OrderRequirement.SAME_ADDRESS,
+        (OpClass.BRANCH, OpClass.STORE): OrderRequirement.ALWAYS,
+    }
+)
+
+#: The paper's running-example model (non-speculative alias resolution).
+WEAK = MemoryModel(
+    name="weak",
+    table=_WEAK_TABLE,
+    description="Paper Figure 1: aggressive reordering, store-atomic, "
+    "non-speculative address disambiguation.",
+)
+
+#: WEAK with Section 5's address-aliasing speculation enabled.
+WEAK_SPEC = MemoryModel(
+    name="weak-spec",
+    table=_WEAK_TABLE,
+    speculative_aliasing=True,
+    description="Paper Section 5: WEAK plus address-aliasing speculation "
+    "(alias-resolution dependencies dropped, rollback on violation).",
+)
+
+#: WEAK strengthened with same-address Load/Load ordering (read coherence),
+#: an extension variant for ablation studies.
+WEAK_CORR = MemoryModel(
+    name="weak-corr",
+    table=ReorderingTable(
+        {
+            **_WEAK_TABLE.entries,
+            (OpClass.LOAD, OpClass.LOAD): OrderRequirement.SAME_ADDRESS,
+        }
+    ),
+    description="WEAK plus same-address load-load ordering (CoRR respected).",
+)
+
+
+def speculative(model: MemoryModel) -> MemoryModel:
+    """A copy of ``model`` with address-aliasing speculation enabled."""
+    if model.speculative_aliasing:
+        return model
+    return replace(
+        model,
+        name=f"{model.name}-spec",
+        speculative_aliasing=True,
+        description=f"{model.description} [speculative aliasing]",
+    )

@@ -1,0 +1,17 @@
+"""Mixed-size (multi-byte) memory accesses (paper §8 extension)."""
+
+from repro.multibyte.access import (
+    MultibyteBuilder,
+    WideThread,
+    byte_cell,
+    combine_bytes,
+    split_bytes,
+)
+
+__all__ = [
+    "MultibyteBuilder",
+    "WideThread",
+    "byte_cell",
+    "combine_bytes",
+    "split_bytes",
+]

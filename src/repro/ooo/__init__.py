@@ -1,0 +1,5 @@
+"""Out-of-order core substrate (speculative loads + retirement replay)."""
+
+from repro.ooo.core import DynInstr, OooCore, OooMachine, OooRun, Stage, run_ooo
+
+__all__ = ["DynInstr", "OooCore", "OooMachine", "OooRun", "Stage", "run_ooo"]

@@ -1,0 +1,411 @@
+"""An out-of-order core model with speculative loads (paper §4.2, §5).
+
+    "Within a processor, an ordering relationship between two
+    instructions requires the earlier to complete before the later
+    instruction performs any visible action.  When operations are not
+    ordered by the reordering rules, they can be in flight
+    simultaneously…"
+
+This machine is the aggressive end of that spectrum — an R10000/x86-like
+core per thread:
+
+* instructions enter an (unbounded) window in program order and *issue*
+  as soon as their register operands are ready — loads may issue far out
+  of order,
+* an issuing load forwards from the newest older same-address store
+  with a known address in its window/store buffer, else reads memory
+  **at issue time** (a speculation: memory may still change before the
+  load logically happens),
+* retirement is in order; a retiring load is **re-validated**: its
+  correct value *now* (forwarding else memory) is recomputed, and a
+  mismatch squashes and replays it — the classic coherence replay,
+* retired stores sit in a FIFO store buffer that drains to memory
+  asynchronously; fences retire only when the buffer is empty, atomics
+  drain it and act on memory directly.
+
+The conformance claim (TAB-OOO) is §4.2's exercise: with replay enabled
+this machine implements exactly TSO — every outcome over many random
+schedules lies in the axiomatic TSO set, and the schedules reach the
+relaxed TSO outcomes.  With replay *disabled* it is the naive-speculation
+machine of §5/Martin et al.: non-TSO (even non-SC-coherent) outcomes
+appear, e.g. CoRR's inverted reads.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import EnumerationError, ExecutionError
+from repro.isa.instructions import (
+    Branch,
+    Compute,
+    Fence,
+    FenceKind,
+    Instruction,
+    Load,
+    Rmw,
+    Store,
+    alu_eval,
+)
+from repro.isa.operands import Const, Operand, Reg, Value
+from repro.isa.program import Program
+from repro.operational.state import final_registers
+from repro.operational.storebuffer import _DRAINING_FENCES
+
+
+class Stage(enum.Enum):
+    FETCHED = "fetched"
+    DONE = "done"  #: executed/issued; value available
+    RETIRED = "retired"
+
+
+@dataclass
+class DynInstr:
+    """One window entry."""
+
+    index: int  #: dynamic program-order position within the core
+    instruction: Instruction
+    operand_sources: tuple["DynInstr | None", ...]
+    fetch_pc: int = 0  #: static instruction index this entry was fetched from
+    stage: Stage = Stage.FETCHED
+    value: Value | None = None  #: register result
+    addr: str | None = None
+    stored: Value | None = None  #: store data once computed
+    replays: int = 0
+
+    @property
+    def is_load(self) -> bool:
+        return isinstance(self.instruction, Load)
+
+    @property
+    def is_store(self) -> bool:
+        return isinstance(self.instruction, Store)
+
+
+def _operands(instruction: Instruction) -> tuple[Operand, ...]:
+    if isinstance(instruction, Compute):
+        return instruction.args
+    if isinstance(instruction, Load):
+        return (instruction.addr,)
+    if isinstance(instruction, Store):
+        return (instruction.addr, instruction.value)
+    if isinstance(instruction, Branch):
+        return (instruction.cond,) if instruction.cond is not None else ()
+    if isinstance(instruction, Rmw):
+        return (instruction.addr,) + instruction.args
+    return ()
+
+
+class OooCore:
+    """One core: fetch pointer, window, architectural register map."""
+
+    def __init__(self, machine: "OooMachine", core_id: int) -> None:
+        self.machine = machine
+        self.core_id = core_id
+        self.thread = machine.program.threads[core_id]
+        self.pc = 0
+        self.window: list[DynInstr] = []
+        self.retire_pointer = 0  #: index into window of next instruction to retire
+        self.store_buffer: list[tuple[str, Value]] = []
+        self.regs: dict[str, DynInstr] = {}
+        self.fetch_blocked_on: DynInstr | None = None  #: unresolved branch
+
+    # ------------------------------------------------------------------
+    # operand plumbing
+
+    def _operand_value(self, entry: DynInstr, position: int):
+        operand = _operands(entry.instruction)[position]
+        if isinstance(operand, Const):
+            return operand.value
+        producer = entry.operand_sources[position]
+        if producer is None:
+            return 0
+        if producer.stage is Stage.FETCHED or producer.value is None:
+            return None
+        return producer.value
+
+    def _operand_values(self, entry: DynInstr):
+        values = []
+        for position in range(len(_operands(entry.instruction))):
+            value = self._operand_value(entry, position)
+            if value is None:
+                return None
+            values.append(value)
+        return tuple(values)
+
+    def _resolve_addr(self, entry: DynInstr) -> str | None:
+        if entry.addr is not None:
+            return entry.addr
+        value = self._operand_value(entry, 0)
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            raise ExecutionError(f"core {self.core_id}: address {value!r} is not a location")
+        entry.addr = value
+        return value
+
+    # ------------------------------------------------------------------
+    # micro-events
+
+    def can_fetch(self) -> bool:
+        return self.pc < len(self.thread.code) and self.fetch_blocked_on is None
+
+    def fetch(self) -> None:
+        instruction = self.thread.code[self.pc]
+        sources = tuple(
+            self.regs.get(op.name) if isinstance(op, Reg) else None
+            for op in _operands(instruction)
+        )
+        entry = DynInstr(len(self.window), instruction, sources, fetch_pc=self.pc)
+        self.window.append(entry)
+        destination = instruction.dest()
+        if destination is not None:
+            self.regs[destination.name] = entry
+        self.pc += 1
+        if isinstance(instruction, Branch):
+            self.fetch_blocked_on = entry
+
+    def issuable(self) -> list[DynInstr]:
+        """Window entries that can execute a visible step right now."""
+        ready = []
+        for entry in self.window[self.retire_pointer :]:
+            if entry.stage is not Stage.FETCHED:
+                continue
+            instruction = entry.instruction
+            if isinstance(instruction, (Fence, Rmw)):
+                continue  # handled at retirement
+            if self._operand_values(entry) is None:
+                continue
+            ready.append(entry)
+        return ready
+
+    def _forward(self, entry: DynInstr, address: str):
+        """Newest OLDER same-address store value visible to this load:
+        un-retired window stores first (program order), then the store
+        buffer.  Retired stores live in the buffer or have drained; a
+        drained store must NOT forward (memory may hold a newer remote
+        value by now)."""
+        for older in reversed(self.window[: entry.index]):
+            if older.is_store and older.stage is not Stage.RETIRED:
+                older_addr = older.addr
+                if older_addr is None:
+                    # Unknown address: the aggressive core *assumes* no
+                    # alias and keeps searching older stores (this is the
+                    # §5 address-aliasing speculation; the retirement
+                    # re-check catches mispredictions).
+                    continue
+                if older_addr == address and older.stored is not None:
+                    return (older.stored,)
+        for buffered_addr, buffered_value in reversed(self.store_buffer):
+            if buffered_addr == address:
+                return (buffered_value,)
+        return None
+
+    def _load_value_now(self, entry: DynInstr, address: str) -> Value:
+        forwarded = self._forward(entry, address)
+        if forwarded is not None:
+            return forwarded[0]
+        return self.machine.memory[address]
+
+    def issue(self, entry: DynInstr) -> None:
+        instruction = entry.instruction
+        if isinstance(instruction, Compute):
+            entry.value = alu_eval(instruction.op, self._operand_values(entry))
+        elif isinstance(instruction, Branch):
+            values = self._operand_values(entry)
+            condition = values[0] if values else 1
+            entry.value = condition
+            if self.fetch_blocked_on is entry:
+                self.fetch_blocked_on = None
+            if instruction.taken(condition):
+                self.pc = self.thread.target_of(instruction)
+        elif isinstance(instruction, Store):
+            address = self._resolve_addr(entry)
+            assert address is not None
+            entry.stored = self._operand_value(entry, 1)
+            entry.value = entry.stored
+        elif isinstance(instruction, Load):
+            address = self._resolve_addr(entry)
+            assert address is not None
+            entry.value = self._load_value_now(entry, address)
+        entry.stage = Stage.DONE
+
+    def can_retire(self) -> bool:
+        if self.retire_pointer >= len(self.window):
+            return False
+        entry = self.window[self.retire_pointer]
+        instruction = entry.instruction
+        if isinstance(instruction, Fence):
+            if instruction.kind in _DRAINING_FENCES and self.store_buffer:
+                return False
+            return True
+        if isinstance(instruction, Rmw):
+            if self.store_buffer:
+                return False
+            return self._operand_values(entry) is not None and self._resolve_addr(entry) is not None
+        if isinstance(instruction, Store) and instruction.release and self.store_buffer:
+            # release stores wait for the buffer (conservative; exact for
+            # non-FIFO buffers, harmless for this FIFO one)
+            return entry.stage is Stage.DONE and not self.store_buffer
+        return entry.stage is Stage.DONE
+
+    def retire(self) -> None:
+        entry = self.window[self.retire_pointer]
+        instruction = entry.instruction
+        if isinstance(instruction, Fence):
+            entry.stage = Stage.RETIRED
+        elif isinstance(instruction, Rmw):
+            address = entry.addr
+            old = self.machine.memory[address]
+            values = self._operand_values(entry)
+            stored = instruction.stored_value(old, values[1:])
+            entry.value = old
+            if stored is not None:
+                self.machine.commit_store(address, stored)
+            entry.stage = Stage.RETIRED
+        elif entry.is_load:
+            address = entry.addr
+            if self.machine.replay_enabled:
+                correct = self._load_value_now(entry, address)
+                if correct != entry.value:
+                    # Squash: the load replays with the correct value and
+                    # every younger window entry — all of which may depend
+                    # on it, directly or through control flow — is
+                    # discarded and re-fetched.
+                    entry.value = correct
+                    entry.replays += 1
+                    self.machine.total_replays += 1
+                    self._squash_after(entry)
+            entry.stage = Stage.RETIRED
+        elif entry.is_store:
+            self.store_buffer.append((entry.addr, entry.stored))
+            entry.stage = Stage.RETIRED
+        else:
+            entry.stage = Stage.RETIRED
+        self.retire_pointer += 1
+
+    def _squash_after(self, entry: DynInstr) -> None:
+        """Flush every window entry younger than ``entry`` and restart
+        fetch at the following static instruction.  Younger entries are
+        all un-retired (retirement is in order), so the store buffer and
+        memory are untouched; the architectural register map is rebuilt
+        from the surviving window prefix."""
+        self.window = self.window[: entry.index + 1]
+        self.pc = entry.fetch_pc + 1
+        self.fetch_blocked_on = None
+        self.regs = {}
+        for survivor in self.window:
+            destination = survivor.instruction.dest()
+            if destination is not None:
+                self.regs[destination.name] = survivor
+
+    def can_drain(self) -> bool:
+        return bool(self.store_buffer)
+
+    def drain(self) -> None:
+        address, value = self.store_buffer.pop(0)
+        self.machine.commit_store(address, value)
+
+    def done(self) -> bool:
+        return (
+            self.pc >= len(self.thread.code)
+            and self.fetch_blocked_on is None
+            and self.retire_pointer >= len(self.window)
+            and not self.store_buffer
+        )
+
+    def final_regs(self) -> tuple[tuple[str, Value], ...]:
+        items = []
+        for name, producer in self.regs.items():
+            if producer.value is not None:
+                items.append((name, producer.value))
+        return tuple(sorted(items))
+
+
+@dataclass
+class OooRun:
+    """The artifact of one machine run."""
+
+    program: Program
+    registers: frozenset
+    replays: int
+    steps: int
+    replay_enabled: bool
+
+
+class OooMachine:
+    """N out-of-order cores over a single shared memory."""
+
+    def __init__(
+        self,
+        program: Program,
+        seed: int | None = None,
+        replay_enabled: bool = True,
+    ) -> None:
+        self.program = program
+        self.rng = random.Random(seed)
+        self.replay_enabled = replay_enabled
+        self.memory: dict[str, Value] = {
+            location: program.initial_value(location) for location in program.locations()
+        }
+        self.cores = [OooCore(self, core_id) for core_id in range(len(program.threads))]
+        self.total_replays = 0
+
+    def commit_store(self, address: str, value: Value) -> None:
+        self.memory[address] = value
+
+    def _events(self):
+        events = []
+        for core in self.cores:
+            if core.can_fetch():
+                events.append(("fetch", core, None))
+            for entry in core.issuable():
+                events.append(("issue", core, entry))
+            if core.can_retire():
+                events.append(("retire", core, None))
+            if core.can_drain():
+                events.append(("drain", core, None))
+        return events
+
+    def run(self, max_steps: int = 100_000) -> OooRun:
+        steps = 0
+        while True:
+            events = self._events()
+            if not events:
+                if all(core.done() for core in self.cores):
+                    break
+                raise EnumerationError("out-of-order machine deadlocked")
+            steps += 1
+            if steps > max_steps:
+                raise EnumerationError(f"out-of-order machine exceeded {max_steps} steps")
+            kind, core, entry = self.rng.choice(events)
+            if kind == "fetch":
+                core.fetch()
+            elif kind == "issue":
+                core.issue(entry)
+            elif kind == "retire":
+                core.retire()
+            else:
+                core.drain()
+
+        class _State:
+            def __init__(self, regs):
+                self.regs = regs
+
+        states = tuple(_State(core.final_regs()) for core in self.cores)
+        return OooRun(
+            program=self.program,
+            registers=final_registers(self.program, states),
+            replays=self.total_replays,
+            steps=steps,
+            replay_enabled=self.replay_enabled,
+        )
+
+
+def run_ooo(
+    program: Program, seed: int | None = None, replay_enabled: bool = True
+) -> OooRun:
+    """Convenience: build and run one out-of-order machine."""
+    return OooMachine(program, seed, replay_enabled).run()

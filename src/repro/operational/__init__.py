@@ -1,0 +1,25 @@
+"""Operational reference machines: SC interleaver, TSO/PSO store buffers,
+and the ≺-linearization dataflow machine for store-atomic relaxed models."""
+
+from repro.operational.dataflow import DataflowResult, run_dataflow
+from repro.operational.sc import SCResult, run_sc
+from repro.operational.state import ArchThreadState, final_registers
+from repro.operational.storebuffer import (
+    StoreBufferResult,
+    run_pso,
+    run_store_buffer,
+    run_tso,
+)
+
+__all__ = [
+    "DataflowResult",
+    "run_dataflow",
+    "SCResult",
+    "run_sc",
+    "ArchThreadState",
+    "final_registers",
+    "StoreBufferResult",
+    "run_pso",
+    "run_store_buffer",
+    "run_tso",
+]

@@ -1,0 +1,250 @@
+"""An operational machine for store-atomic relaxed models.
+
+The paper proves store-atomic executions serializable: every behavior is
+some linearization of the thread-local ``≺`` orders executed against one
+atomic memory.  Run forwards, that is an *operational* machine for any
+store-atomic table model — WEAK included:
+
+* at each step pick any instruction whose thread-local obligations are
+  met: register operands ready, and every program-earlier instruction
+  the reordering table orders before it already executed (same-address
+  entries wait for the earlier address to be known),
+* loads read the current memory; stores write it immediately; RMWs do
+  both atomically; fences are no-ops once their ordered predecessors ran.
+
+Exploring all choices with memoization yields the machine's outcome set.
+The TAB-XVAL-style theorem checked by the test suite: this machine's
+outcomes coincide **exactly** with the axiomatic enumerator's under the
+same table, on the branch-free litmus tests and on random programs —
+the operational/axiomatic equivalence for the paper's own model class.
+
+Branches are not supported (weak models let loads speculate past
+branches, which an explicit-state machine cannot express without
+rollback machinery); use the axiomatic enumerator for branchy programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EnumerationError, ReproError
+from repro.isa.instructions import (
+    Compute,
+    Fence,
+    Instruction,
+    Load,
+    OpClass,
+    Rmw,
+    Store,
+    alu_eval,
+)
+from repro.isa.operands import Const, Reg, Value
+from repro.isa.program import Program
+from repro.models.base import MemoryModel, OrderRequirement
+from repro.models.registry import get_model
+
+
+def _operands(instruction: Instruction):
+    if isinstance(instruction, Compute):
+        return instruction.args
+    if isinstance(instruction, Load):
+        return (instruction.addr,)
+    if isinstance(instruction, Store):
+        return (instruction.addr, instruction.value)
+    if isinstance(instruction, Rmw):
+        return (instruction.addr,) + instruction.args
+    return ()
+
+
+@dataclass(frozen=True)
+class _ThreadState:
+    """Immutable per-thread progress: per-instruction results.
+
+    ``results[i]`` is None while instruction i has not executed, else a
+    tuple ``(value,)`` (fences record ``(0,)``).
+    """
+
+    results: tuple[tuple[Value] | None, ...]
+
+    def executed(self, index: int) -> bool:
+        return self.results[index] is not None
+
+    def with_result(self, index: int, value: Value) -> "_ThreadState":
+        updated = list(self.results)
+        updated[index] = (value,)
+        return _ThreadState(tuple(updated))
+
+
+@dataclass
+class DataflowResult:
+    outcomes: frozenset
+    states_explored: int = 0
+    terminal_states: int = 0
+
+
+def run_dataflow(
+    program: Program,
+    model: MemoryModel | str = "weak",
+    max_states: int = 4_000_000,
+) -> DataflowResult:
+    """All final-register outcomes of the ≺-linearization machine."""
+    if isinstance(model, str):
+        model = get_model(model)
+    if model.store_load_bypass:
+        raise ReproError(
+            "the dataflow machine realizes store-atomic models; use the "
+            "store-buffer machines for TSO/PSO"
+        )
+    if program.has_branches():
+        raise ReproError("the dataflow machine requires branch-free programs")
+
+    threads = program.threads
+    # Precompute register producers: for thread t, instruction i, operand
+    # position p -> producing instruction index (or None for constants /
+    # unwritten registers).
+    producers: list[list[tuple[int | None, ...]]] = []
+    for thread in threads:
+        last_writer: dict[str, int] = {}
+        thread_producers = []
+        for index, instruction in enumerate(thread.code):
+            thread_producers.append(
+                tuple(
+                    last_writer.get(op.name) if isinstance(op, Reg) else None
+                    for op in _operands(instruction)
+                )
+            )
+            destination = instruction.dest()
+            if destination is not None:
+                last_writer[destination.name] = index
+        producers.append(thread_producers)
+
+    initial_memory = tuple(
+        sorted((loc, program.initial_value(loc)) for loc in program.locations())
+    )
+    initial = (
+        tuple(_ThreadState((None,) * len(thread.code)) for thread in threads),
+        initial_memory,
+    )
+
+    def operand_value(state: _ThreadState, tid: int, index: int, position: int):
+        operand = _operands(threads[tid].code[index])[position]
+        if isinstance(operand, Const):
+            return operand.value
+        producer = producers[tid][index][position]
+        if producer is None:
+            return 0
+        result = state.results[producer]
+        return None if result is None else result[0]
+
+    def address_of(state: _ThreadState, tid: int, index: int):
+        instruction = threads[tid].code[index]
+        if instruction.addr_operand() is None:
+            return None
+        return operand_value(state, tid, index, 0)
+
+    def eligible(state: _ThreadState, tid: int, index: int) -> bool:
+        instruction = threads[tid].code[index]
+        if state.executed(index):
+            return False
+        for position in range(len(_operands(instruction))):
+            if operand_value(state, tid, index, position) is None:
+                return False
+        my_address = address_of(state, tid, index)
+        for earlier in range(index):
+            requirement = model.requirement(threads[tid].code[earlier], instruction)
+            if requirement is OrderRequirement.NONE:
+                continue
+            if requirement is OrderRequirement.ALWAYS:
+                if not state.executed(earlier):
+                    return False
+                continue
+            # SAME_ADDRESS: must know the earlier address to decide.
+            if state.executed(earlier):
+                continue
+            earlier_address = address_of(state, tid, earlier)
+            if earlier_address is None or earlier_address == my_address:
+                return False
+        return True
+
+    def read(memory, address):
+        for location, value in memory:
+            if location == address:
+                return value
+        raise EnumerationError(f"dataflow machine read unknown location {address!r}")
+
+    def write(memory, address, value):
+        return tuple(
+            (location, value if location == address else old)
+            for location, old in memory
+        )
+
+    stack = [initial]
+    seen = {initial}
+    outcomes = set()
+    terminal = 0
+
+    while stack:
+        states, memory = stack.pop()
+        if len(seen) > max_states:
+            raise EnumerationError(f"dataflow machine exceeded {max_states} states")
+        progressed = False
+        for tid, state in enumerate(states):
+            for index, instruction in enumerate(threads[tid].code):
+                if not eligible(state, tid, index):
+                    continue
+                progressed = True
+                successor_memory = memory
+                if isinstance(instruction, Fence):
+                    value: Value = 0
+                elif isinstance(instruction, Compute):
+                    args = tuple(
+                        operand_value(state, tid, index, position)
+                        for position in range(len(instruction.args))
+                    )
+                    value = alu_eval(instruction.op, args)
+                elif isinstance(instruction, Load):
+                    value = read(memory, address_of(state, tid, index))
+                elif isinstance(instruction, Store):
+                    value = operand_value(state, tid, index, 1)
+                    successor_memory = write(memory, address_of(state, tid, index), value)
+                elif isinstance(instruction, Rmw):
+                    address = address_of(state, tid, index)
+                    old = read(memory, address)
+                    args = tuple(
+                        operand_value(state, tid, index, position)
+                        for position in range(1, 1 + len(instruction.args))
+                    )
+                    stored = instruction.stored_value(old, args)
+                    if stored is not None:
+                        successor_memory = write(memory, address, stored)
+                    value = old
+                else:  # pragma: no cover - exhaustive
+                    raise EnumerationError(f"cannot execute {instruction}")
+                next_states = tuple(
+                    state.with_result(index, value) if t == tid else other
+                    for t, other in enumerate(states)
+                )
+                next_state = (next_states, successor_memory)
+                if next_state not in seen:
+                    seen.add(next_state)
+                    stack.append(next_state)
+        if not progressed:
+            terminal += 1
+            outcomes.add(_final_registers(program, states, producers))
+
+    return DataflowResult(frozenset(outcomes), len(seen), terminal)
+
+
+def _final_registers(program: Program, states, producers) -> frozenset:
+    items = []
+    for tid, thread in enumerate(program.threads):
+        last_writer: dict[str, int] = {}
+        for index, instruction in enumerate(thread.code):
+            destination = instruction.dest()
+            if destination is not None:
+                last_writer[destination.name] = index
+        for register, index in last_writer.items():
+            result = states[tid].results[index]
+            if result is not None:
+                items.append(((thread.name, register), result[0]))
+    return frozenset(items)

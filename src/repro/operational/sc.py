@@ -1,0 +1,119 @@
+"""Operational Sequential Consistency — the classic interleaving machine.
+
+This is the paper's "operational view" of SC (Section 1): at each step
+the next instruction of one running thread executes atomically against a
+single monolithic memory.  The interleaving search explores every
+scheduling choice with state memoization, producing the complete set of
+final-register outcomes.
+
+It serves as the *reference baseline*: the axiomatic enumerator under the
+SC reordering table must produce exactly the same outcome set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EnumerationError
+from repro.isa.instructions import Fence, Load, Rmw, Store
+from repro.isa.program import Program
+from repro.operational.state import (
+    ArchThreadState,
+    final_registers,
+    resolve_address,
+    rmw_apply,
+    step_local,
+)
+
+#: Memory snapshots are stored as sorted (location, value) tuples so the
+#: full machine state is hashable for memoization.
+Memory = tuple[tuple[str, object], ...]
+
+
+def _initial_memory(program: Program) -> Memory:
+    return tuple(sorted((loc, program.initial_value(loc)) for loc in program.locations()))
+
+
+def _read(memory: Memory, address: str):
+    for location, value in memory:
+        if location == address:
+            return value
+    raise EnumerationError(f"operational machine read from unknown location {address!r}")
+
+
+def _write(memory: Memory, address: str, value) -> Memory:
+    return tuple(
+        (location, value if location == address else old) for location, old in memory
+    )
+
+
+@dataclass
+class SCResult:
+    """Outcome set plus exploration statistics."""
+
+    outcomes: frozenset
+    states_explored: int = 0
+    terminal_states: int = 0
+
+
+def run_sc(program: Program, max_states: int = 2_000_000) -> SCResult:
+    """All final-register outcomes of ``program`` under interleaved SC."""
+    initial = (
+        tuple(ArchThreadState() for _ in program.threads),
+        _initial_memory(program),
+    )
+    stack = [initial]
+    seen = {initial}
+    outcomes = set()
+    terminal = 0
+
+    while stack:
+        threads, memory = stack.pop()
+        if len(seen) > max_states:
+            raise EnumerationError(f"SC interleaving exceeded {max_states} states")
+        progressed = False
+        for tid, state in enumerate(threads):
+            thread = program.threads[tid]
+            if state.done(thread):
+                continue
+            progressed = True
+            instruction = state.current(thread)
+            successor_memory = memory
+
+            local = step_local(state, thread, instruction)
+            if local is not None:
+                successor_state = local
+            elif isinstance(instruction, Fence):
+                successor_state = state.advance(state.pc + 1)
+            elif isinstance(instruction, Load):
+                address = resolve_address(state, instruction.addr)
+                value = _read(memory, address)
+                successor_state = state.write(instruction.dst, value).advance(state.pc + 1)
+            elif isinstance(instruction, Store):
+                address = resolve_address(state, instruction.addr)
+                value = state.operand(instruction.value)
+                successor_memory = _write(memory, address, value)
+                successor_state = state.advance(state.pc + 1)
+            elif isinstance(instruction, Rmw):
+                address = resolve_address(state, instruction.addr)
+                old = _read(memory, address)
+                successor_state, stored = rmw_apply(state, instruction, old)
+                if stored is not None:
+                    successor_memory = _write(memory, address, stored)
+            else:  # pragma: no cover - exhaustive over the ISA
+                raise EnumerationError(f"SC machine cannot execute {instruction}")
+
+            next_threads = tuple(
+                successor_state if index == tid else other
+                for index, other in enumerate(threads)
+            )
+            next_state = (next_threads, successor_memory)
+            if next_state not in seen:
+                seen.add(next_state)
+                stack.append(next_state)
+
+        if not progressed:
+            terminal += 1
+            outcomes.add(final_registers(program, threads))
+
+    return SCResult(frozenset(outcomes), states_explored=len(seen), terminal_states=terminal)

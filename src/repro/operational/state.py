@@ -1,0 +1,115 @@
+"""Shared thread-state stepping for the operational reference machines.
+
+The operational machines (SC interleaver, TSO/PSO store-buffer machines)
+execute instructions *in program order* within each thread; all their
+relaxation lives in the memory subsystem.  This module provides the
+common per-thread architectural state and the evaluation of thread-local
+instructions, so the machines only implement their memory transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.isa.instructions import (
+    Branch,
+    Compute,
+    Instruction,
+    Load,
+    Rmw,
+    Store,
+    alu_eval,
+)
+from repro.isa.operands import Const, Operand, Reg, Value
+from repro.isa.program import Program, Thread
+
+
+@dataclass(frozen=True)
+class ArchThreadState:
+    """Immutable per-thread architectural state: PC + register file.
+
+    Immutability keeps state hashing trivial for the interleaving search.
+    Registers are stored as a sorted tuple of (name, value) pairs.
+    """
+
+    pc: int = 0
+    regs: tuple[tuple[str, Value], ...] = ()
+
+    def read(self, register: Reg) -> Value:
+        for name, value in self.regs:
+            if name == register.name:
+                return value
+        return 0  # unwritten registers read as integer 0
+
+    def write(self, register: Reg, value: Value) -> "ArchThreadState":
+        updated = dict(self.regs)
+        updated[register.name] = value
+        return ArchThreadState(self.pc, tuple(sorted(updated.items())))
+
+    def advance(self, pc: int) -> "ArchThreadState":
+        return ArchThreadState(pc, self.regs)
+
+    def operand(self, operand: Operand) -> Value:
+        if isinstance(operand, Const):
+            return operand.value
+        return self.read(operand)
+
+    def done(self, thread: Thread) -> bool:
+        return self.pc >= len(thread.code)
+
+    def current(self, thread: Thread) -> Instruction:
+        return thread.code[self.pc]
+
+
+def resolve_address(state: ArchThreadState, operand: Operand) -> str:
+    """Evaluate an address operand; addresses must be location names."""
+    value = state.operand(operand)
+    if not isinstance(value, str):
+        raise ExecutionError(f"computed address {value!r} is not a memory-location name")
+    return value
+
+
+def step_local(
+    state: ArchThreadState, thread: Thread, instruction: Instruction
+) -> ArchThreadState | None:
+    """Execute a thread-local (non-memory, non-fence) instruction.
+
+    Returns the successor state, or None if the instruction touches
+    memory / is a fence and must be handled by the machine.
+    """
+    if isinstance(instruction, Compute):
+        values = tuple(state.operand(arg) for arg in instruction.args)
+        result = alu_eval(instruction.op, values)
+        return state.write(instruction.dst, result).advance(state.pc + 1)
+    if isinstance(instruction, Branch):
+        condition = state.operand(instruction.cond) if instruction.cond is not None else 1
+        if instruction.taken(condition):
+            return state.advance(thread.target_of(instruction))
+        return state.advance(state.pc + 1)
+    if isinstance(instruction, (Load, Store, Rmw)):
+        return None
+    return None  # Fence: machines decide
+
+
+def rmw_apply(
+    state: ArchThreadState, instruction: Rmw, old: Value
+) -> tuple[ArchThreadState, Value | None]:
+    """Apply an RMW: returns (state with dst written and pc advanced,
+    value to store or None for a failed CAS)."""
+    args = tuple(state.operand(arg) for arg in instruction.args)
+    stored = instruction.stored_value(old, args)
+    next_state = state.write(instruction.dst, old).advance(state.pc + 1)
+    return next_state, stored
+
+
+def final_registers(
+    program: Program, states: tuple[ArchThreadState, ...]
+) -> frozenset:
+    """Final-register outcome in the same shape as the axiomatic
+    enumerator's ``register_outcomes`` elements."""
+    items = []
+    for thread, state in zip(program.threads, states):
+        for name, value in state.regs:
+            items.append(((thread.name, name), value))
+    return frozenset(items)

@@ -1,0 +1,192 @@
+"""Operational TSO/PSO — per-thread store buffers over a shared memory.
+
+The machine implements the hardware intuition behind Section 6:
+
+* a Store enters its thread's store buffer,
+* a buffered store *drains* to memory nondeterministically — in FIFO
+  order for TSO, in any order that preserves per-address FIFO for PSO,
+* a Load first searches its own buffer (newest matching entry — store-to-
+  load forwarding, the paper's "Local Load operations are permitted to
+  obtain values from the Store pipeline"), falling back to memory,
+* full and store-ordering fences wait for an empty buffer,
+* atomic RMWs drain the buffer and act on memory directly.
+
+These machines are the reference baselines the axiomatic TSO/PSO models
+are validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EnumerationError
+from repro.isa.instructions import Fence, FenceKind, Load, Rmw, Store
+from repro.isa.program import Program
+from repro.operational.sc import Memory, _initial_memory, _read, _write
+from repro.operational.state import (
+    ArchThreadState,
+    final_registers,
+    resolve_address,
+    rmw_apply,
+    step_local,
+)
+
+#: A store buffer: oldest-first tuple of (address, value) entries.
+Buffer = tuple[tuple[str, object], ...]
+
+#: Fence kinds that must wait until the issuing thread's buffer drains.
+_DRAINING_FENCES = (FenceKind.FULL, FenceKind.STORE_LOAD, FenceKind.STORE_STORE)
+
+
+def _forward(buffer: Buffer, address: str):
+    """Newest buffered value for ``address``, or None if absent."""
+    for entry_address, value in reversed(buffer):
+        if entry_address == address:
+            return (value,)
+    return None
+
+
+def _drain_choices(buffer: Buffer, fifo: bool) -> list[int]:
+    """Indices of buffer entries that may drain next."""
+    if not buffer:
+        return []
+    if fifo:
+        return [0]
+    choices = []
+    seen_addresses: set[str] = set()
+    for index, (address, _) in enumerate(buffer):
+        if address not in seen_addresses:
+            choices.append(index)
+            seen_addresses.add(address)
+    return choices
+
+
+@dataclass
+class StoreBufferResult:
+    """Outcome set plus exploration statistics."""
+
+    outcomes: frozenset
+    states_explored: int = 0
+    terminal_states: int = 0
+
+
+def run_store_buffer(
+    program: Program, fifo: bool = True, max_states: int = 4_000_000
+) -> StoreBufferResult:
+    """All final-register outcomes under a store-buffer machine.
+
+    ``fifo=True`` is TSO; ``fifo=False`` relaxes draining to per-address
+    FIFO, which is PSO.
+    """
+    initial = (
+        tuple(ArchThreadState() for _ in program.threads),
+        _initial_memory(program),
+        tuple(() for _ in program.threads),
+    )
+    stack = [initial]
+    seen = {initial}
+    outcomes = set()
+    terminal = 0
+
+    def push(state) -> None:
+        if state not in seen:
+            seen.add(state)
+            stack.append(state)
+
+    while stack:
+        threads, memory, buffers = stack.pop()
+        if len(seen) > max_states:
+            raise EnumerationError(f"store-buffer search exceeded {max_states} states")
+        progressed = False
+
+        # Drain transitions.
+        for tid, buffer in enumerate(buffers):
+            for index in _drain_choices(buffer, fifo):
+                progressed = True
+                address, value = buffer[index]
+                next_buffers = tuple(
+                    buffer[:index] + buffer[index + 1 :] if b_tid == tid else other
+                    for b_tid, other in enumerate(buffers)
+                )
+                push((threads, _write(memory, address, value), next_buffers))
+
+        # Instruction transitions.
+        for tid, state in enumerate(threads):
+            thread = program.threads[tid]
+            if state.done(thread):
+                continue
+            instruction = state.current(thread)
+            buffer = buffers[tid]
+            successor_memory = memory
+            successor_buffer = buffer
+
+            local = step_local(state, thread, instruction)
+            if local is not None:
+                successor_state = local
+            elif isinstance(instruction, Fence):
+                if instruction.kind in _DRAINING_FENCES and buffer:
+                    continue  # blocked until the buffer drains
+                successor_state = state.advance(state.pc + 1)
+            elif isinstance(instruction, Load):
+                address = resolve_address(state, instruction.addr)
+                forwarded = _forward(buffer, address)
+                value = forwarded[0] if forwarded is not None else _read(memory, address)
+                successor_state = state.write(instruction.dst, value).advance(state.pc + 1)
+            elif isinstance(instruction, Store):
+                if instruction.release and buffer and not fifo:
+                    # A release store must not overtake earlier stores;
+                    # with a non-FIFO (PSO) buffer that means waiting for
+                    # it to drain first.  (FIFO buffers preserve the order
+                    # anyway.)
+                    continue
+                address = resolve_address(state, instruction.addr)
+                value = state.operand(instruction.value)
+                successor_buffer = buffer + ((address, value),)
+                successor_state = state.advance(state.pc + 1)
+            elif isinstance(instruction, Rmw):
+                if buffer:
+                    continue  # atomics drain the buffer first
+                address = resolve_address(state, instruction.addr)
+                old = _read(memory, address)
+                successor_state, stored = rmw_apply(state, instruction, old)
+                if stored is not None:
+                    successor_memory = _write(memory, address, stored)
+            else:  # pragma: no cover - exhaustive over the ISA
+                raise EnumerationError(f"store-buffer machine cannot execute {instruction}")
+
+            progressed = True
+            next_threads = tuple(
+                successor_state if index == tid else other
+                for index, other in enumerate(threads)
+            )
+            next_buffers = tuple(
+                successor_buffer if index == tid else other
+                for index, other in enumerate(buffers)
+            )
+            push((next_threads, successor_memory, next_buffers))
+
+        all_done = all(
+            state.done(program.threads[tid]) for tid, state in enumerate(threads)
+        )
+        if all_done and not any(buffers):
+            terminal += 1
+            outcomes.add(final_registers(program, threads))
+        elif not progressed:
+            raise EnumerationError(
+                "store-buffer machine deadlocked (fence waiting on a buffer "
+                "that cannot drain?)"
+            )
+
+    return StoreBufferResult(
+        frozenset(outcomes), states_explored=len(seen), terminal_states=terminal
+    )
+
+
+def run_tso(program: Program, max_states: int = 4_000_000) -> StoreBufferResult:
+    """Operational TSO (FIFO store buffers with forwarding)."""
+    return run_store_buffer(program, fifo=True, max_states=max_states)
+
+
+def run_pso(program: Program, max_states: int = 4_000_000) -> StoreBufferResult:
+    """Operational PSO (per-address-FIFO store buffers with forwarding)."""
+    return run_store_buffer(program, fifo=False, max_states=max_states)

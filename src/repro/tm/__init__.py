@@ -1,0 +1,17 @@
+"""Transactional memory on top of the framework (paper §8 future work)."""
+
+from repro.tm.blocks import AtomicBlock, block_units, check_blocks
+from repro.tm.semantics import (
+    TransactionalResult,
+    enumerate_transactional,
+    transactional_witness,
+)
+
+__all__ = [
+    "AtomicBlock",
+    "block_units",
+    "check_blocks",
+    "TransactionalResult",
+    "enumerate_transactional",
+    "transactional_witness",
+]

@@ -1,0 +1,97 @@
+"""Atomic blocks: transactions as groups of memory operations.
+
+Paper §8 (future work): "One may view a transaction as an atomic group
+of Load and Store operations, where the addresses involved in the group
+are not necessarily known a priori.  It is worth exploring if the
+big-step, 'all or nothing' semantics … can be explained in terms of
+small-step semantics using the framework provided in this paper."
+
+Here a transaction is an :class:`AtomicBlock` — a contiguous range of a
+thread's (straight-line) instructions.  The small-step side is the
+ordinary enumeration procedure; the big-step constraint is imposed
+afterwards: an execution is transactionally valid iff a serialization
+exists in which every block's memory operations appear *consecutively*.
+Note the addresses inside a block indeed need not be known up front —
+they come out of the execution itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+from repro.core.execution import Execution
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class AtomicBlock:
+    """A transaction: instructions ``[start, end)`` of ``thread`` run
+    atomically.  Indices are *dynamic* instruction positions, which for
+    the supported straight-line transaction bodies equal static ones."""
+
+    thread: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise ProgramError(
+                f"atomic block [{self.start}, {self.end}) of {self.thread!r} is empty"
+            )
+
+    def validate_against(self, program: Program) -> None:
+        tid = program.thread_index(self.thread)
+        code = program.threads[tid].code
+        if self.end > len(code):
+            raise ProgramError(
+                f"atomic block [{self.start}, {self.end}) exceeds thread "
+                f"{self.thread!r} (length {len(code)})"
+            )
+        for instruction in code[self.start : self.end]:
+            if instruction.op_class.value == "branch":
+                raise ProgramError(
+                    "atomic blocks must be straight-line (no branches inside)"
+                )
+
+
+def check_blocks(program: Program, blocks: tuple[AtomicBlock, ...]) -> None:
+    """Validate all blocks: in range, straight-line, non-overlapping."""
+    for block in blocks:
+        block.validate_against(program)
+    by_thread: dict[str, list[AtomicBlock]] = {}
+    for block in blocks:
+        by_thread.setdefault(block.thread, []).append(block)
+    for thread, thread_blocks in by_thread.items():
+        ordered = sorted(thread_blocks, key=lambda b: b.start)
+        for first, second in zip(ordered, ordered[1:]):
+            if first.end > second.start:
+                raise ProgramError(
+                    f"atomic blocks overlap in thread {thread!r}: "
+                    f"[{first.start},{first.end}) and [{second.start},{second.end})"
+                )
+
+
+def block_units(execution: Execution, blocks: tuple[AtomicBlock, ...]) -> list[list[int]]:
+    """Partition the execution's memory nodes into serialization units:
+    one unit per block (its memory nodes, program order) and singleton
+    units for everything else (init stores included)."""
+    program = execution.program
+    claimed: dict[int, int] = {}  # nid -> unit index
+    units: list[list[int]] = []
+    for block in blocks:
+        tid = program.thread_index(block.thread)
+        members = [
+            node.nid
+            for node in execution.graph.nodes
+            if node.tid == tid and block.start <= node.index < block.end and node.is_memory
+        ]
+        members.sort(key=lambda nid: execution.graph.node(nid).index)
+        if members:
+            for nid in members:
+                claimed[nid] = len(units)
+            units.append(members)
+    for node in execution.graph.nodes:
+        if node.is_memory and node.nid not in claimed:
+            units.append([node.nid])
+    return units

@@ -1,0 +1,150 @@
+"""Transactional semantics: small-step enumeration + big-step filtering.
+
+:func:`transactional_witness` searches for a serialization in which
+every atomic block's memory operations are consecutive — the "all or
+nothing" order.  :func:`enumerate_transactional` enumerates behaviors
+with the ordinary §4 procedure and keeps exactly the executions that
+admit such a witness, giving serializable-transactions semantics on top
+of any store-atomic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
+from repro.core.execution import Execution
+from repro.isa.program import Program
+from repro.models.base import MemoryModel
+from repro.models.registry import get_model
+from repro.tm.blocks import AtomicBlock, block_units, check_blocks
+
+
+def _unit_placeable(execution: Execution, unit: list[int], placed: set[int], latest: dict) -> bool:
+    """Can the whole unit be appended now (ops consecutive, in order)?"""
+    graph = execution.graph
+    virtual_placed = set(placed)
+    virtual_latest = dict(latest)
+    for nid in unit:
+        node = graph.node(nid)
+        for ancestor in graph.ancestors(nid):
+            if graph.node(ancestor).is_memory and ancestor not in virtual_placed:
+                return False
+        if node.reads_memory and virtual_latest.get(node.addr) != node.source:
+            return False
+        virtual_placed.add(nid)
+        if node.is_visible_store:
+            virtual_latest[node.addr] = nid
+    return True
+
+
+def _apply_unit(unit: list[int], execution: Execution, placed: set[int], latest: dict):
+    graph = execution.graph
+    undo = []
+    for nid in unit:
+        node = graph.node(nid)
+        placed.add(nid)
+        if node.is_visible_store:
+            undo.append((node.addr, latest.get(node.addr)))
+            latest[node.addr] = nid
+    return undo
+
+
+def _undo_unit(unit: list[int], undo, placed: set[int], latest: dict) -> None:
+    for nid in unit:
+        placed.discard(nid)
+    for addr, previous in reversed(undo):
+        if previous is None:
+            latest.pop(addr, None)
+        else:
+            latest[addr] = previous
+
+
+def transactional_witness(
+    execution: Execution, blocks: tuple[AtomicBlock, ...]
+) -> list[int] | None:
+    """A serialization with every block contiguous, or None.
+
+    Bypassed (TSO-forwarded) loads are not supported here; transactional
+    semantics are defined over store-atomic models.
+    """
+    units = block_units(execution, blocks)
+    order: list[int] = []
+    placed: set[int] = set()
+    latest: dict = {}
+    remaining = list(range(len(units)))
+
+    def search() -> bool:
+        if not remaining:
+            return True
+        for position in range(len(remaining)):
+            index = remaining[position]
+            unit = units[index]
+            if not _unit_placeable(execution, unit, placed, latest):
+                continue
+            undo = _apply_unit(unit, execution, placed, latest)
+            order.extend(unit)
+            del remaining[position]
+            if search():
+                return True
+            remaining.insert(position, index)
+            del order[-len(unit):]
+            _undo_unit(unit, undo, placed, latest)
+        return False
+
+    if search():
+        return order
+    return None
+
+
+@dataclass
+class TransactionalResult:
+    """Behaviors surviving the atomic-block filter."""
+
+    program: Program
+    model: MemoryModel
+    blocks: tuple[AtomicBlock, ...]
+    executions: list[Execution]
+    rejected: int  #: enumerated executions without a block-atomic witness
+
+    def register_outcomes(self) -> frozenset[frozenset]:
+        return frozenset(
+            frozenset(execution.final_registers().items()) for execution in self.executions
+        )
+
+    def __len__(self) -> int:
+        return len(self.executions)
+
+
+def enumerate_transactional(
+    program: Program,
+    blocks: tuple[AtomicBlock, ...] | list[AtomicBlock],
+    model: MemoryModel | str = "sc",
+    limits: EnumerationLimits | None = None,
+) -> TransactionalResult:
+    """Enumerate behaviors and keep those where every block is atomic.
+
+    The small-step side is the ordinary enumeration under ``model``; the
+    blocks impose the big-step constraint afterwards.  (A real eager TM
+    implementation realizes exactly the surviving executions; aborted
+    attempts are invisible in final state.)
+    """
+    if isinstance(model, str):
+        model = get_model(model)
+    if model.store_load_bypass:
+        raise ReproError(
+            "transactional semantics are defined over store-atomic models; "
+            "bypassed (forwarded) loads have no single serialization point"
+        )
+    blocks = tuple(blocks)
+    check_blocks(program, blocks)
+    result = enumerate_behaviors(program, model, limits)
+    kept = []
+    rejected = 0
+    for execution in result.executions:
+        if transactional_witness(execution, blocks) is not None:
+            kept.append(execution)
+        else:
+            rejected += 1
+    return TransactionalResult(program, model, blocks, kept, rejected)

@@ -1,0 +1,6 @@
+"""Execution-graph visualization (Graphviz dot + ASCII)."""
+
+from repro.viz.ascii import render
+from repro.viz.dot import to_dot
+
+__all__ = ["render", "to_dot"]

@@ -1,0 +1,47 @@
+"""Plain-text rendering of execution graphs for terminals and reports."""
+
+from __future__ import annotations
+
+from repro.core.graph import EdgeKind, ExecutionGraph
+
+_KIND_SYMBOL = [
+    (EdgeKind.SOURCE, "==obs==>"),
+    (EdgeKind.ATOMICITY, "..atom..>"),
+    (EdgeKind.BYPASS, "~bypass~>"),
+    (EdgeKind.IMPOSED, "--imp-->"),
+    (EdgeKind.DATA, "--data->"),
+    (EdgeKind.ADDR_DEP, "--addr->"),
+    (EdgeKind.SAME_ADDR, "--same->"),
+    (EdgeKind.PROGRAM, "-------->"),
+]
+
+
+def _symbol(kinds: EdgeKind) -> str:
+    for kind, symbol in _KIND_SYMBOL:
+        if kinds & kind:
+            return symbol
+    return "-------->"
+
+
+def render(graph: ExecutionGraph, include_init: bool = False) -> str:
+    """Nodes grouped by thread, then every non-init edge with a symbol."""
+    lines: list[str] = []
+    by_thread: dict[int, list] = {}
+    for node in graph.nodes:
+        if node.is_init and not include_init:
+            continue
+        by_thread.setdefault(node.tid, []).append(node)
+
+    for tid, nodes in sorted(by_thread.items()):
+        lines.append("init:" if tid < 0 else f"thread {tid}:")
+        for node in nodes:
+            lines.append(f"  {node.describe()}")
+
+    lines.append("edges:")
+    for u, v, kinds in graph.edges():
+        if kinds & EdgeKind.INIT and kinds == EdgeKind.INIT:
+            continue
+        if not include_init and (graph.node(u).is_init or graph.node(v).is_init):
+            continue
+        lines.append(f"  n{u} {_symbol(kinds)} n{v}  [{kinds.pretty()}]")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Graphviz rendering of execution graphs, styled after the paper's figures.
+
+Edge styling mirrors Figure 2: solid edges are the local ordering ``≺``,
+"ringed" (odot-tailed) edges are observations (``source``), dotted edges
+are derived Store Atomicity constraints, and grey edges are TSO bypass
+edges that do not participate in ``⊑``.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import EdgeKind, ExecutionGraph
+from repro.core.node import Node
+
+_LOCAL_KINDS = (
+    EdgeKind.PROGRAM | EdgeKind.DATA | EdgeKind.ADDR_DEP | EdgeKind.SAME_ADDR
+)
+
+
+def _node_label(node: Node) -> str:
+    if node.is_init:
+        return f"init {node.addr}={node.stored!r}"
+    label = str(node.instruction)
+    if node.reads_memory and node.executed:
+        label += f" = {node.value!r}"
+    return label.replace('"', "'")
+
+
+def _edge_attrs(kinds: EdgeKind) -> str:
+    if kinds & EdgeKind.BYPASS:
+        return 'color="gray60", style=solid, penwidth=2'
+    if kinds & EdgeKind.SOURCE:
+        return "arrowtail=odot, dir=both, color=black"
+    if kinds & EdgeKind.ATOMICITY:
+        return "style=dotted, color=black"
+    if kinds & EdgeKind.IMPOSED:
+        return 'style=dashed, color="gray40"'
+    if kinds & _LOCAL_KINDS:
+        return "style=solid"
+    if kinds & EdgeKind.INIT:
+        return 'style=dashed, color="gray80"'
+    return "style=solid"
+
+
+def to_dot(
+    graph: ExecutionGraph,
+    title: str = "",
+    include_init: bool = False,
+    memory_only: bool = True,
+) -> str:
+    """Render an execution graph as a DOT digraph.
+
+    ``memory_only`` erases non-memory nodes (the paper's Load–Store-graph
+    view — "All the graphs pictured in this paper are actually Load-Store
+    graphs"); explicit edges between surviving nodes are kept and
+    transitive orderings through erased nodes are re-inserted as plain
+    edges.
+    """
+    keep = {
+        node.nid
+        for node in graph.nodes
+        if (node.is_memory or not memory_only) and (include_init or not node.is_init)
+    }
+
+    lines = ["digraph execution {"]
+    if title:
+        lines.append(f'  label="{title}"; labelloc=t;')
+    lines.append("  rankdir=TB; node [fontname=Helvetica, fontsize=11];")
+
+    threads: dict[int, list[Node]] = {}
+    for node in graph.nodes:
+        if node.nid in keep:
+            threads.setdefault(node.tid, []).append(node)
+    for tid, nodes in sorted(threads.items()):
+        cluster_name = "init" if tid < 0 else f"T{tid}"
+        lines.append(f"  subgraph cluster_{cluster_name.replace('-', '_')} {{")
+        lines.append(f'    label="{cluster_name}"; color="gray80";')
+        for node in nodes:
+            shape = "box" if node.writes_memory else "ellipse"
+            lines.append(f'    n{node.nid} [label="{_node_label(node)}", shape={shape}];')
+        lines.append("  }")
+
+    drawn: set[tuple[int, int]] = set()
+    for u, v, kinds in graph.edges():
+        if u in keep and v in keep and not (kinds & EdgeKind.INIT and not include_init):
+            lines.append(f"  n{u} -> n{v} [{_edge_attrs(kinds)}];")
+            drawn.add((u, v))
+
+    if memory_only:
+        # Re-insert orderings that flowed through erased nodes ("connecting
+        # predecessors and successors of each erased node").
+        for v in keep:
+            for u in graph.ancestors(v):
+                if u in keep and (u, v) not in drawn and not _implied(graph, u, v, keep):
+                    lines.append(f"  n{u} -> n{v} [style=solid];")
+                    drawn.add((u, v))
+
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _implied(graph: ExecutionGraph, u: int, v: int, keep: set[int]) -> bool:
+    """Is u ⊑ v already implied through another kept node (transitive)?"""
+    for w in graph.descendants(u):
+        if w != v and w in keep and graph.before(w, v):
+            return True
+    return False

@@ -1,0 +1,26 @@
+"""Tests for figure-artifact generation."""
+
+from repro.cli import main
+from repro.experiments.artifacts import FIGURES, write_figures
+
+
+class TestWriteFigures:
+    def test_all_figures_written(self, tmp_path):
+        written = write_figures(tmp_path)
+        assert sorted(path.name for path in written) == sorted(FIGURES)
+        for path in written:
+            text = path.read_text()
+            assert text.startswith("digraph execution {")
+            assert text.rstrip().endswith("}")
+
+    def test_fig11_contains_grey_bypass(self, tmp_path):
+        write_figures(tmp_path)
+        assert "gray60" in (tmp_path / "fig11.dot").read_text()
+
+    def test_fig5_contains_atomicity_edges(self, tmp_path):
+        write_figures(tmp_path)
+        assert "dotted" in (tmp_path / "fig5.dot").read_text()
+
+    def test_cli(self, tmp_path, capsys):
+        assert main(["figures", "--out", str(tmp_path / "out")]) == 0
+        assert "fig9.dot" in capsys.readouterr().out

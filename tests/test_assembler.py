@@ -1,0 +1,167 @@
+"""Unit tests for the textual assembly format."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble, assemble_program, parse_instruction, parse_operand
+from repro.isa.instructions import (
+    Branch,
+    Compute,
+    Fence,
+    FenceKind,
+    Load,
+    Rmw,
+    RmwKind,
+    Store,
+)
+from repro.isa.operands import Const, Reg
+
+
+class TestOperandParsing:
+    def test_integer(self):
+        assert parse_operand("42") == Const(42)
+        assert parse_operand("-7") == Const(-7)
+
+    def test_register(self):
+        assert parse_operand("r1") == Reg("r1")
+        assert parse_operand("r10") == Reg("r10")
+
+    def test_location(self):
+        assert parse_operand("x") == Const("x")
+        assert parse_operand("flag_2") == Const("flag_2")
+
+    def test_address_of(self):
+        assert parse_operand("&y") == Const("y")
+
+    def test_r_followed_by_letters_is_a_location(self):
+        assert parse_operand("ready") == Const("ready")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse_operand("1x2!")
+
+
+class TestInstructionParsing:
+    def test_store(self):
+        assert parse_instruction("S x, 1") == Store(Const("x"), Const(1))
+
+    def test_store_register_indirect(self):
+        assert parse_instruction("S r6, 7") == Store(Reg("r6"), Const(7))
+
+    def test_load(self):
+        assert parse_instruction("r1 = L x") == Load(Reg("r1"), Const("x"))
+
+    def test_load_register_indirect(self):
+        assert parse_instruction("r2 = L r1") == Load(Reg("r2"), Reg("r1"))
+
+    def test_fence_default_and_kinds(self):
+        assert parse_instruction("fence") == Fence()
+        assert parse_instruction("fence st-ld") == Fence(FenceKind.STORE_LOAD)
+        with pytest.raises(AssemblerError):
+            parse_instruction("fence sideways")
+
+    def test_compute(self):
+        assert parse_instruction("r3 = add r1, 5") == Compute(
+            Reg("r3"), "add", (Reg("r1"), Const(5))
+        )
+
+    def test_bare_assignment_is_mov(self):
+        assert parse_instruction("r1 = 7") == Compute(Reg("r1"), "mov", (Const(7),))
+        assert parse_instruction("r1 = x") == Compute(Reg("r1"), "mov", (Const("x"),))
+
+    def test_branches(self):
+        assert parse_instruction("bnez r1, out") == Branch("out", Reg("r1"), negate=False)
+        assert parse_instruction("beqz r2, loop") == Branch("loop", Reg("r2"), negate=True)
+        assert parse_instruction("jmp done") == Branch("done", None)
+
+    def test_branch_requires_register(self):
+        with pytest.raises(AssemblerError):
+            parse_instruction("bnez x, out")
+
+    def test_rmw_forms(self):
+        assert parse_instruction("r1 = cas l, 0, 1") == Rmw(
+            Reg("r1"), Const("l"), RmwKind.CAS, (Const(0), Const(1))
+        )
+        assert parse_instruction("r1 = xchg x, 9") == Rmw(
+            Reg("r1"), Const("x"), RmwKind.EXCHANGE, (Const(9),)
+        )
+        assert parse_instruction("r1 = fadd c, 1") == Rmw(
+            Reg("r1"), Const("c"), RmwKind.FETCH_ADD, (Const(1),)
+        )
+
+    def test_unparseable_line(self):
+        with pytest.raises(AssemblerError):
+            parse_instruction("hello world")
+
+
+_SB_SOURCE = """
+test SB
+init x=0 y=0
+
+thread P0
+    S x, 1      # store then load
+    r1 = L y
+
+thread P1
+    S y, 1
+    r2 = L x
+
+exists (P0:r1=0 /\\ P1:r2=0)
+"""
+
+
+class TestAssemble:
+    def test_full_source(self):
+        assembled = assemble(_SB_SOURCE)
+        program = assembled.program
+        assert program.name == "SB"
+        assert [t.name for t in program.threads] == ["P0", "P1"]
+        assert len(program.threads[0].code) == 2
+        assert assembled.condition_text.startswith("exists")
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble_program("thread T\n\n  # nothing\n  S x, 1\n")
+        assert len(program.threads[0].code) == 1
+
+    def test_labels(self):
+        program = assemble_program(
+            """
+            thread T
+                r1 = L x
+                bnez r1, out
+                S y, 1
+            out:
+            """
+        )
+        assert program.threads[0].labels == {"out": 3}
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble_program("thread T\nl:\nl:\n  S x, 1\n")
+
+    def test_init_with_pointer_value(self):
+        program = assemble_program("init x=w\nthread T\n  r1 = L x\n")
+        assert program.initial_memory == {"x": "w"}
+        assert "w" in program.locations()
+
+    def test_instruction_before_thread_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble_program("S x, 1\n")
+
+    def test_no_threads_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble_program("test empty\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble_program("thread T\n  S x, 1\n  whatever nonsense\n")
+        assert "line 3" in str(excinfo.value)
+
+    def test_round_trip_outcomes_match_dsl(self, sb_program, weak):
+        """The assembled SB behaves identically to the DSL-built SB."""
+        from repro.core import enumerate_behaviors
+
+        assembled = assemble(_SB_SOURCE).program
+        lhs = enumerate_behaviors(assembled, weak).register_outcomes()
+        rhs = enumerate_behaviors(sb_program, weak).register_outcomes()
+        assert lhs == rhs

@@ -1,0 +1,240 @@
+"""Unit tests for the Store Atomicity closure on hand-built graphs."""
+
+import pytest
+
+from repro.errors import AtomicityViolation
+from repro.core.atomicity import check_store_atomicity, close_store_atomicity
+from repro.core.graph import EdgeKind, ExecutionGraph
+from repro.core.node import Node
+from repro.isa.instructions import OpClass
+
+
+def store(nid: int, addr: str, value: int, tid: int = 0, index: int = 0) -> Node:
+    return Node(
+        nid=nid,
+        tid=tid,
+        index=index,
+        instruction=None,
+        op_class=OpClass.STORE,
+        executed=True,
+        writes=True,
+        addr=addr,
+        stored=value,
+        value=value,
+    )
+
+
+def load(nid: int, addr: str, source: int | None = None, tid: int = 0, index: int = 0) -> Node:
+    node = Node(
+        nid=nid,
+        tid=tid,
+        index=index,
+        instruction=None,
+        op_class=OpClass.LOAD,
+        addr=addr,
+    )
+    if source is not None:
+        node.source = source
+        node.executed = True
+    return node
+
+
+def build(*nodes: Node) -> ExecutionGraph:
+    graph = ExecutionGraph()
+    for node in nodes:
+        graph.add_node(node)
+    return graph
+
+
+class TestRuleA:
+    def test_predecessor_store_ordered_before_source(self):
+        """S ⊑ L with S ≠ source ⇒ S ⊑ source."""
+        graph = build(
+            store(0, "x", 1, tid=0, index=0),
+            store(1, "x", 2, tid=1, index=0),
+            load(2, "x", source=1, tid=0, index=1),
+        )
+        graph.add_edge(0, 2, EdgeKind.PROGRAM)  # S0 ⊑ L
+        graph.add_edge(1, 2, EdgeKind.SOURCE)
+        added = close_store_atomicity(graph)
+        assert added >= 1
+        assert graph.before(0, 1)
+        assert check_store_atomicity(graph) == []
+
+    def test_violation_when_source_precedes_predecessor(self):
+        """If source ⊑ S ⊑ L already, the closure must fail (overwrite)."""
+        graph = build(
+            store(0, "x", 1, tid=1, index=0),
+            store(1, "x", 2, tid=2, index=0),
+            load(2, "x", source=0, tid=0, index=0),
+        )
+        graph.add_edge(0, 1, EdgeKind.PROGRAM)  # source ⊑ S1
+        graph.add_edge(1, 2, EdgeKind.PROGRAM)  # S1 ⊑ L
+        graph.add_edge(0, 2, EdgeKind.SOURCE)
+        with pytest.raises(AtomicityViolation):
+            close_store_atomicity(graph)
+
+
+class TestRuleB:
+    def test_observer_ordered_before_overwriting_store(self):
+        """source ⊑ S ⇒ L ⊑ S."""
+        graph = build(
+            store(0, "x", 1, tid=1, index=0),
+            store(1, "x", 2, tid=1, index=1),
+            load(2, "x", source=0, tid=0, index=0),
+        )
+        graph.add_edge(0, 1, EdgeKind.PROGRAM)  # source ⊑ S1
+        graph.add_edge(0, 2, EdgeKind.SOURCE)
+        close_store_atomicity(graph)
+        assert graph.before(2, 1)  # L ⊑ S1
+
+
+class TestRuleC:
+    def test_common_ancestor_precedes_common_successor(self):
+        """The Figure 5 shape in miniature: two same-address load/store
+        pairings order a mutual ancestor before a mutual successor."""
+        graph = build(
+            store(0, "y", 2, tid=1, index=0),  # S2
+            store(1, "y", 4, tid=2, index=0),  # S4
+            load(2, "y", source=0, tid=0, index=1),  # L3 observes S2
+            load(3, "y", source=1, tid=0, index=2),  # L5 observes S4
+            store(4, "x", 1, tid=0, index=0),  # S1: mutual ancestor of loads
+            load(5, "z", tid=3, index=0),  # L7-like mutual successor
+        )
+        graph.nodes[5].source = None
+        graph.add_edge(0, 2, EdgeKind.SOURCE)
+        graph.add_edge(1, 3, EdgeKind.SOURCE)
+        graph.add_edge(4, 2, EdgeKind.PROGRAM)  # S1 ⊑ L3
+        graph.add_edge(4, 3, EdgeKind.PROGRAM)  # S1 ⊑ L5
+        graph.add_edge(0, 5, EdgeKind.PROGRAM)  # S2 ⊑ successor
+        graph.add_edge(1, 5, EdgeKind.PROGRAM)  # S4 ⊑ successor
+        close_store_atomicity(graph)
+        assert graph.before(4, 5)  # the rule-c edge
+        # and the same-address pair itself stays unordered
+        assert not graph.ordered(0, 1)
+
+    def test_rule_c_needs_distinct_sources(self):
+        graph = build(
+            store(0, "y", 2, tid=1, index=0),
+            load(1, "y", source=0, tid=0, index=1),
+            load(2, "y", source=0, tid=0, index=2),
+            store(3, "x", 1, tid=0, index=0),
+            load(4, "z", tid=2, index=0),
+        )
+        graph.add_edge(0, 1, EdgeKind.SOURCE)
+        graph.add_edge(0, 2, EdgeKind.SOURCE)
+        graph.add_edge(3, 1, EdgeKind.PROGRAM)
+        graph.add_edge(3, 2, EdgeKind.PROGRAM)
+        graph.add_edge(0, 4, EdgeKind.PROGRAM)
+        close_store_atomicity(graph)
+        assert not graph.ordered(3, 4)
+
+
+class TestFixpoint:
+    def test_cascade_requires_iteration(self):
+        """The Figure 7 shape: one inserted edge exposes another."""
+        graph = build(
+            store(0, "x", 1, tid=0, index=0),  # S1
+            store(1, "y", 3, tid=0, index=1),  # S3 (after S1 via fence)
+            load(2, "y", source=3, tid=0, index=2),  # L6 observes S4
+            store(3, "y", 4, tid=1, index=0),  # S4
+            load(4, "x", source=5, tid=1, index=1),  # L5 observes S2
+            store(5, "x", 2, tid=2, index=0),  # S2
+        )
+        graph.add_edge(0, 1, EdgeKind.PROGRAM)
+        graph.add_edge(1, 2, EdgeKind.PROGRAM)
+        graph.add_edge(3, 4, EdgeKind.PROGRAM)
+        graph.add_edge(3, 2, EdgeKind.SOURCE)
+        graph.add_edge(5, 4, EdgeKind.SOURCE)
+        close_store_atomicity(graph)
+        assert graph.before(1, 3)  # edge c: S3 ⊑ S4
+        assert graph.before(0, 5)  # edge d: S1 ⊑ S2
+
+    def test_idempotent(self):
+        graph = build(
+            store(0, "x", 1, tid=1, index=0),
+            store(1, "x", 2, tid=1, index=1),
+            load(2, "x", source=0, tid=0, index=0),
+        )
+        graph.add_edge(0, 1, EdgeKind.PROGRAM)
+        graph.add_edge(0, 2, EdgeKind.SOURCE)
+        close_store_atomicity(graph)
+        assert close_store_atomicity(graph) == 0
+
+
+class TestRmwSelfExclusion:
+    def test_rmw_node_not_compared_with_itself(self):
+        """An RMW is a store to its own load's address; the rules must not
+        order it around itself."""
+        rmw = Node(
+            nid=1,
+            tid=0,
+            index=0,
+            instruction=None,
+            op_class=OpClass.RMW,
+            addr="x",
+        )
+        graph = build(store(0, "x", 0, tid=1, index=0), rmw)
+        graph.add_edge(0, 1, EdgeKind.SOURCE)
+        rmw.source = 0
+        rmw.executed = True
+        rmw.writes = True
+        rmw.stored = 1
+        rmw.value = 0
+        close_store_atomicity(graph)
+        assert check_store_atomicity(graph) == []
+
+    def test_two_rmws_cannot_share_a_source(self):
+        """Two fetch-and-adds observing the same store violate atomicity:
+        rule b applies in both directions and forces a cycle."""
+        def rmw(nid, tid):
+            node = Node(
+                nid=nid, tid=tid, index=0, instruction=None, op_class=OpClass.RMW,
+                addr="c",
+            )
+            node.source = 0
+            node.executed = True
+            node.writes = True
+            node.stored = 1
+            node.value = 0
+            return node
+
+        graph = build(store(0, "c", 0, tid=2, index=0), rmw(1, 0), rmw(2, 1))
+        graph.add_edge(0, 1, EdgeKind.SOURCE)
+        graph.add_edge(0, 2, EdgeKind.SOURCE)
+        with pytest.raises(AtomicityViolation):
+            close_store_atomicity(graph)
+
+
+class TestDeclarativeChecker:
+    def test_reports_missing_rule_a_edge(self):
+        graph = build(
+            store(0, "x", 1, tid=0, index=0),
+            store(1, "x", 2, tid=1, index=0),
+            load(2, "x", source=1, tid=0, index=1),
+        )
+        graph.add_edge(0, 2, EdgeKind.PROGRAM)
+        graph.add_edge(1, 2, EdgeKind.SOURCE)
+        problems = check_store_atomicity(graph)
+        assert any("rule a" in problem for problem in problems)
+
+    def test_reports_observed_overwrite(self):
+        graph = build(
+            store(0, "x", 1, tid=1, index=0),
+            store(1, "x", 2, tid=1, index=1),
+            load(2, "x", source=0, tid=0, index=0),
+        )
+        graph.add_edge(0, 1, EdgeKind.PROGRAM)
+        graph.add_edge(0, 2, EdgeKind.SOURCE)
+        graph.add_edge(1, 2, EdgeKind.PROGRAM)  # overwriting store between
+        problems = check_store_atomicity(graph)
+        assert any("overwritten" in problem for problem in problems)
+
+    def test_reports_source_to_wrong_address(self):
+        graph = build(
+            store(0, "y", 1, tid=1, index=0),
+            load(1, "x", source=0, tid=0, index=0),
+        )
+        graph.add_edge(0, 1, EdgeKind.SOURCE)
+        problems = check_store_atomicity(graph)
+        assert any("different address" in problem for problem in problems)

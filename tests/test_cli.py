@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestModels:
+    def test_listing(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "weak" in out and "tso" in out
+
+    def test_table(self, capsys):
+        assert main(["models", "--table", "weak"]) == 0
+        out = capsys.readouterr().out
+        assert "x != y" in out
+
+    def test_unknown_model(self, capsys):
+        assert main(["models", "--table", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_library_test(self, capsys):
+        assert main(["run", "SB", "-m", "sc"]) == 0
+        out = capsys.readouterr().out
+        assert "SB under sc" in out and "No" in out
+
+    def test_multiple_models(self, capsys):
+        assert main(["run", "SB", "-m", "sc", "-m", "weak"]) == 0
+        out = capsys.readouterr().out
+        assert "under sc" in out and "under weak" in out
+
+    def test_default_model_is_weak(self, capsys):
+        assert main(["run", "SB"]) == 0
+        assert "under weak" in capsys.readouterr().out
+
+    def test_file_input(self, tmp_path, capsys):
+        source = tmp_path / "t.litmus"
+        source.write_text(
+            "test tiny\nthread P0\n  S x, 1\n  r1 = L x\nexists (P0:r1=1)\n"
+        )
+        assert main(["run", str(source), "-m", "sc"]) == 0
+        assert "tiny under sc" in capsys.readouterr().out
+
+    def test_unknown_test(self, capsys):
+        assert main(["run", "NOPE"]) == 2
+        assert "library tests" in capsys.readouterr().err
+
+    def test_dot_output(self, tmp_path, capsys):
+        target = tmp_path / "g.dot"
+        assert main(["run", "SB", "-m", "weak", "--dot", str(target)]) == 0
+        assert target.read_text().startswith("digraph")
+
+
+class TestEnumerate:
+    def test_outcome_listing(self, capsys):
+        assert main(["enumerate", "MP", "-m", "weak"]) == 0
+        out = capsys.readouterr().out
+        assert "4 distinct executions" in out
+        assert "P1:r1=1  P1:r2=0" in out
+
+    def test_graph_printing(self, capsys):
+        assert main(["enumerate", "SB", "-m", "sc", "--graphs", "1"]) == 0
+        assert "thread 0:" in capsys.readouterr().out
+
+
+class TestMatrix:
+    def test_subset(self, capsys):
+        assert main(["matrix", "--tests", "SB,MP", "--models", "sc,weak"]) == 0
+        out = capsys.readouterr().out
+        assert "SB" in out and "MP" in out
+
+
+class TestWellsync:
+    def test_racy_exit_code(self, capsys):
+        assert main(["wellsync", "MP", "-m", "weak", "--sync", "flag"]) == 1
+        assert "RACY" in capsys.readouterr().out
+
+    def test_sync_everything(self, capsys):
+        assert main(["wellsync", "MP", "-m", "weak", "--sync", "flag,x"]) == 0
+        assert "WELL SYNCHRONIZED" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Tests for the MSI coherence substrate and its conformance (§4.2)."""
+
+import pytest
+
+from repro.errors import CoherenceError
+from repro.coherence.checker import verify_run
+from repro.coherence.machine import CoherentMachine, run_coherent
+from repro.coherence.protocol import CoherenceController, LineState
+from repro.core.atomicity import check_store_atomicity
+from repro.core.serialization import find_serialization
+from repro.isa.dsl import ProgramBuilder
+from repro.operational.sc import run_sc
+
+from tests.conftest import build_branchy, build_mp, build_sb
+
+
+def controller(locations=("x",), caches=2):
+    init_nodes = {loc: i for i, loc in enumerate(locations)}
+    return CoherenceController(caches, {loc: 0 for loc in locations}, init_nodes)
+
+
+class TestProtocol:
+    def test_initial_state_invalid_everywhere(self):
+        ctl = controller()
+        assert ctl.state(0, "x") is LineState.INVALID
+        assert ctl.state(1, "x") is LineState.INVALID
+
+    def test_read_obtains_shared_copy(self):
+        ctl = controller()
+        value, source, edges = ctl.read(0, "x", nid=10)
+        assert value == 0 and source == 0
+        assert ctl.state(0, "x") is LineState.SHARED
+        assert any(edge.reason == "copy-from-owner" for edge in edges)
+
+    def test_write_invalidates_sharers(self):
+        ctl = controller()
+        ctl.read(1, "x", nid=10)
+        edges = ctl.write(0, "x", 5, nid=11)
+        assert ctl.state(0, "x") is LineState.MODIFIED
+        assert ctl.state(1, "x") is LineState.INVALID
+        reasons = {edge.reason for edge in edges}
+        assert "ownership-transfer" in reasons and "invalidation" in reasons
+
+    def test_ownership_transfer_chains_stores(self):
+        ctl = controller()
+        ctl.write(0, "x", 1, nid=10)
+        edges = ctl.write(1, "x", 2, nid=11)
+        transfer = [e for e in edges if e.reason == "ownership-transfer"]
+        assert transfer[0].before == 10
+
+    def test_read_after_write_downgrades_owner(self):
+        ctl = controller()
+        ctl.write(0, "x", 1, nid=10)
+        value, source, _ = ctl.read(1, "x", nid=11)
+        assert value == 1 and source == 10
+        assert ctl.state(0, "x") is LineState.SHARED
+        assert ctl.state(1, "x") is LineState.SHARED
+
+    def test_cached_read_costs_no_transaction(self):
+        ctl = controller()
+        ctl.read(0, "x", nid=10)
+        before = ctl.transactions
+        ctl.read(0, "x", nid=11)
+        assert ctl.transactions == before
+
+    def test_unknown_location_rejected(self):
+        ctl = controller()
+        with pytest.raises(CoherenceError):
+            ctl.read(0, "zzz", nid=1)
+
+
+class TestMachine:
+    def test_deterministic_per_seed(self, sb_program):
+        first = run_coherent(sb_program, seed=7)
+        second = run_coherent(sb_program, seed=7)
+        assert first.registers == second.registers
+        assert first.schedule == second.schedule
+
+    def test_runs_produce_sc_outcomes(self, sb_program):
+        sc_outcomes = run_sc(sb_program).outcomes
+        for seed in range(20):
+            assert run_coherent(sb_program, seed=seed).registers in sc_outcomes
+
+    def test_graph_is_store_atomic(self, mp_program):
+        for seed in range(10):
+            run = run_coherent(mp_program, seed=seed)
+            assert check_store_atomicity(run.graph) == []
+
+    def test_runs_serializable(self, mp_program):
+        for seed in range(10):
+            run = run_coherent(mp_program, seed=seed)
+            assert find_serialization(run) is not None
+
+    def test_branchy_program(self):
+        sc_outcomes = run_sc(build_branchy()).outcomes
+        for seed in range(10):
+            assert run_coherent(build_branchy(), seed=seed).registers in sc_outcomes
+
+    def test_rmw_program(self):
+        builder = ProgramBuilder("lock")
+        builder.thread("A").cas("r1", "l", 0, 1)
+        builder.thread("B").cas("r2", "l", 0, 1)
+        winners = set()
+        for seed in range(10):
+            run = run_coherent(builder.build(), seed=seed)
+            registers = run.final_register_dict()
+            winners.add((registers[("A", "r1")], registers[("B", "r2")]))
+            assert verify_run(run).conforms
+        assert winners <= {(0, 1), (1, 0)}
+        assert len(winners) >= 1
+
+
+class TestChecker:
+    def test_conform_report(self, sb_program):
+        report = verify_run(run_coherent(sb_program, seed=1))
+        assert report.conforms
+        assert "ok" in report.summary()
+
+    def test_precomputed_sc_outcomes(self, sb_program):
+        sc_outcomes = run_sc(sb_program).outcomes
+        report = verify_run(run_coherent(sb_program, seed=2), sc_outcomes=sc_outcomes)
+        assert report.sc_outcome is True
+
+    def test_skip_sc_check(self, sb_program):
+        report = verify_run(run_coherent(sb_program, seed=3), check_sc=False)
+        assert report.sc_outcome is None
+        assert report.conforms

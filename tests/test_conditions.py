@@ -1,0 +1,115 @@
+"""Unit tests for the litmus condition language."""
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.litmus.conditions import (
+    And,
+    Condition,
+    MemoryAtom,
+    Not,
+    Or,
+    RegisterAtom,
+    parse_condition,
+)
+
+
+class TestParsing:
+    def test_simple_exists(self):
+        condition = parse_condition("exists (P0:r1=0 /\\ P1:r2=0)")
+        assert condition.quantifier == "exists"
+        assert isinstance(condition.expr, And)
+        assert condition.expr.operands == (
+            RegisterAtom("P0", "r1", 0),
+            RegisterAtom("P1", "r2", 0),
+        )
+
+    def test_negated_exists(self):
+        condition = parse_condition("~exists P0:r1=1")
+        assert condition.quantifier == "~exists"
+        assert condition.expr == RegisterAtom("P0", "r1", 1)
+
+    def test_forall(self):
+        assert parse_condition("forall [c]=2").quantifier == "forall"
+
+    def test_memory_atom(self):
+        condition = parse_condition("exists [x]=5")
+        assert condition.expr == MemoryAtom("x", 5)
+
+    def test_location_valued_atom(self):
+        condition = parse_condition("exists P1:r6=z")
+        assert condition.expr == RegisterAtom("P1", "r6", "z")
+
+    def test_disjunction_and_precedence(self):
+        condition = parse_condition("exists P0:r1=0 /\\ P0:r2=0 \\/ P0:r3=1")
+        # /\\ binds tighter than \\/
+        assert isinstance(condition.expr, Or)
+        assert isinstance(condition.expr.operands[0], And)
+
+    def test_parentheses_override(self):
+        condition = parse_condition("exists P0:r1=0 /\\ (P0:r2=0 \\/ P0:r3=1)")
+        assert isinstance(condition.expr, And)
+        assert isinstance(condition.expr.operands[1], Or)
+
+    def test_not(self):
+        condition = parse_condition("forall not P0:r1=3")
+        assert isinstance(condition.expr, Not)
+
+    def test_negative_values(self):
+        assert parse_condition("exists P0:r1=-2").expr == RegisterAtom("P0", "r1", -2)
+
+    def test_missing_quantifier_rejected(self):
+        with pytest.raises(ConditionError):
+            parse_condition("(P0:r1=0)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ConditionError):
+            parse_condition("exists P0:r1=0 extra")
+
+    def test_malformed_atom_rejected(self):
+        with pytest.raises(ConditionError):
+            parse_condition("exists P0:=3")
+        with pytest.raises(ConditionError):
+            parse_condition("exists [x=3")
+
+    def test_bad_quantifier_construction(self):
+        with pytest.raises(ConditionError):
+            Condition("maybe", RegisterAtom("P0", "r1", 0))
+
+    def test_str_round_trip_parses(self):
+        condition = parse_condition("exists (P0:r1=0 /\\ [x]=1) \\/ not P1:r2=3")
+        again = parse_condition(str(condition))
+        assert again == condition
+
+
+class TestEvaluation:
+    def test_register_atom(self):
+        registers = {("P0", "r1"): 1}
+        assert RegisterAtom("P0", "r1", 1).evaluate(registers, {})
+        assert not RegisterAtom("P0", "r1", 0).evaluate(registers, {})
+        assert not RegisterAtom("P9", "r1", 1).evaluate(registers, {})
+
+    def test_memory_atom(self):
+        assert MemoryAtom("x", 5).evaluate({}, {"x": 5})
+        assert not MemoryAtom("x", 5).evaluate({}, {"x": 4})
+        assert not MemoryAtom("x", 5).evaluate({}, {})
+
+    def test_connectives(self):
+        registers = {("P0", "r1"): 1, ("P0", "r2"): 0}
+        a = RegisterAtom("P0", "r1", 1)
+        b = RegisterAtom("P0", "r2", 1)
+        assert And((a, Not(b))).evaluate(registers, {})
+        assert Or((b, a)).evaluate(registers, {})
+        assert not And((a, b)).evaluate(registers, {})
+
+    def test_locations_collection(self):
+        condition = parse_condition("exists (P0:r1=0 /\\ [x]=1) \\/ [y]=2")
+        assert condition.locations() == frozenset({"x", "y"})
+
+    def test_judge_quantifiers(self):
+        exists = parse_condition("exists P0:r1=0")
+        assert exists.judge(1, 5) and not exists.judge(0, 5)
+        nexists = parse_condition("~exists P0:r1=0")
+        assert nexists.judge(0, 5) and not nexists.judge(1, 5)
+        forall = parse_condition("forall P0:r1=0")
+        assert forall.judge(5, 5) and not forall.judge(4, 5)

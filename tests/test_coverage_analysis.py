@@ -1,0 +1,51 @@
+"""Tests for schedule-coverage measurement."""
+
+import pytest
+
+from repro.analysis.coverage import (
+    coherent_machine,
+    measure_coverage,
+    ooo_machine,
+)
+from repro.litmus.library import get_test
+
+
+class TestCoverage:
+    def test_ooo_covers_tso_on_sb(self):
+        report = measure_coverage(get_test("SB").program, ooo_machine, "tso")
+        assert report.violations == 0
+        assert report.complete
+        assert report.total_outcomes == 4
+
+    def test_coherent_covers_sc_on_mp(self):
+        report = measure_coverage(get_test("MP").program, coherent_machine, "sc")
+        assert report.violations == 0
+        assert report.complete
+
+    def test_curve_is_monotone(self):
+        report = measure_coverage(get_test("LB").program, ooo_machine, "tso")
+        values = [point.distinct for point in report.curve]
+        assert values == sorted(values)
+        assert all(point.distinct <= report.total_outcomes for point in report.curve)
+
+    def test_early_stop_on_full_coverage(self):
+        report = measure_coverage(get_test("SB").program, ooo_machine, "tso")
+        assert report.curve[-1].seeds == report.seeds_to_full
+
+    def test_incomplete_coverage_reported(self):
+        """With very few seeds, IRIW's 15 outcomes cannot all appear."""
+        report = measure_coverage(
+            get_test("IRIW").program, ooo_machine, "tso", max_seeds=5
+        )
+        assert not report.complete
+        assert "outcomes after" in report.summary()
+
+    def test_violations_counted(self):
+        """A deliberately wrong machine (always the same impossible
+        outcome) registers as violations, not coverage."""
+        bogus = frozenset({(("P0", "r1"), 99)})
+        report = measure_coverage(
+            get_test("SB").program, lambda p, s: bogus, "sc", max_seeds=10
+        )
+        assert report.violations == 10
+        assert report.curve[-1].distinct == 0

@@ -1,0 +1,174 @@
+"""Targeted tests for code paths the themed suites do not reach."""
+
+import pytest
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.core.execution import Execution
+from repro.errors import GraphError, ReproError
+from repro.experiments.base import (
+    Claim,
+    executions_where,
+    node_at,
+    register_projection,
+)
+from repro.isa.dsl import ProgramBuilder
+from repro.litmus.library import get_test
+from repro.models.registry import get_model
+from repro.tm import AtomicBlock, block_units
+
+from tests.conftest import build_sb
+
+
+class TestExperimentHelpers:
+    def test_node_at_unknown_position(self, sb_program, weak):
+        execution = enumerate_behaviors(sb_program, weak).executions[0]
+        assert node_at(execution, "P0", 0).index == 0
+        with pytest.raises(ReproError):
+            node_at(execution, "P0", 99)
+
+    def test_executions_where_no_match(self, sb_program, weak):
+        result = enumerate_behaviors(sb_program, weak)
+        assert executions_where(result, r1=42) == []
+
+    def test_register_projection_missing_register(self, sb_program, weak):
+        result = enumerate_behaviors(sb_program, weak)
+        projected = register_projection(result, ("r1", "r_nonexistent"))
+        assert all(row[1] is None for row in projected)
+
+    def test_claim_str(self):
+        claim = Claim("it works", 1, 1)
+        assert "PASS" in str(claim)
+
+
+class TestExecutionApis:
+    def test_memory_finals_with_race(self):
+        builder = ProgramBuilder("race")
+        builder.thread("A").store("x", 1)
+        builder.thread("B").store("x", 2)
+        (execution,) = enumerate_behaviors(builder.build(), get_model("weak")).executions
+        finals = execution.memory_finals()
+        assert set(finals["x"]) == {1, 2}
+
+    def test_memory_finals_untouched_location(self):
+        builder = ProgramBuilder("quiet")
+        builder.init("x", 9)
+        builder.thread("T").load("r1", "x")
+        (execution,) = enumerate_behaviors(builder.build(), get_model("sc")).executions
+        assert execution.memory_finals()["x"] == (9,)
+
+    def test_describe_mentions_progress(self, sb_program, weak):
+        execution = Execution.initial(sb_program, weak)
+        assert "in progress" in execution.describe()
+        done = enumerate_behaviors(sb_program, weak).executions[0]
+        assert "completed" in done.describe()
+
+    def test_resolve_load_guards(self, sb_program, weak):
+        execution = Execution.initial(sb_program, weak)
+        load = execution.eligible_loads()[0]
+        store_nid = execution.init_nodes[load.addr]
+        execution.resolve_load(load.nid, store_nid)
+        with pytest.raises(GraphError):
+            execution.resolve_load(load.nid, store_nid)  # already resolved
+
+    def test_resolve_load_rejects_non_store(self, sb_program, weak):
+        execution = Execution.initial(sb_program, weak)
+        loads = execution.eligible_loads()
+        with pytest.raises(GraphError):
+            execution.resolve_load(loads[0].nid, loads[1].nid)
+
+
+class TestGraphDescribe:
+    def test_describe_lists_nodes_and_edges(self, sb_program, weak):
+        execution = enumerate_behaviors(sb_program, weak).executions[0]
+        text = execution.graph.describe()
+        assert "ExecutionGraph:" in text
+        assert "->" in text
+
+    def test_verify_consistency_on_real_graph(self, sb_program, weak):
+        for execution in enumerate_behaviors(sb_program, weak).executions:
+            execution.graph.verify_consistency()
+
+
+class TestTmBlockUnits:
+    def test_units_partition_memory_nodes(self):
+        builder = ProgramBuilder("tm")
+        thread = builder.thread("T")
+        thread.load("r1", "c")
+        thread.add("r2", "r1", 1)
+        thread.store("c", "r2")
+        (execution,) = enumerate_behaviors(builder.build(), get_model("sc")).executions
+        units = block_units(execution, (AtomicBlock("T", 0, 3),))
+        memory_nids = {
+            node.nid for node in execution.graph.nodes if node.is_memory
+        }
+        flattened = [nid for unit in units for nid in unit]
+        assert sorted(flattened) == sorted(memory_nids)
+        block_unit = max(units, key=len)
+        assert len(block_unit) == 2  # the load and the store; ALU excluded
+
+
+class TestLitmusVerdictApi:
+    def test_unexpected_verdict_reporting(self):
+        from repro.litmus.runner import run_litmus
+        from repro.litmus.test import LitmusTest
+
+        base = get_test("SB")
+        contrarian = LitmusTest(
+            name="SB-contrarian",
+            program=base.program,
+            condition=base.condition,
+            expected={"weak": False},  # wrong on purpose
+        )
+        verdict = run_litmus(contrarian, "weak")
+        assert verdict.matches_expectation is False
+        assert "MISMATCH" in verdict.summary()
+
+    def test_no_expectation_is_none(self):
+        from repro.litmus.runner import run_litmus
+        from repro.litmus.test import LitmusTest
+
+        base = get_test("SB")
+        silent = LitmusTest("SB-noexp", base.program, base.condition)
+        assert run_litmus(silent, "weak").matches_expectation is None
+
+
+class TestOperationalStateHelpers:
+    def test_rmw_apply_failed_cas(self):
+        from repro.isa.instructions import Rmw, RmwKind
+        from repro.isa.operands import Const, Reg
+        from repro.operational.state import ArchThreadState, rmw_apply
+
+        instruction = Rmw(Reg("r1"), Const("l"), RmwKind.CAS, (Const(0), Const(1)))
+        state, stored = rmw_apply(ArchThreadState(), instruction, old=5)
+        assert stored is None
+        assert state.read(Reg("r1")) == 5
+        assert state.pc == 1
+
+    def test_resolve_address_type_error(self):
+        from repro.errors import ExecutionError
+        from repro.isa.operands import Const
+        from repro.operational.state import ArchThreadState, resolve_address
+
+        with pytest.raises(ExecutionError):
+            resolve_address(ArchThreadState(), Const(42))
+
+
+class TestTraceProjectionDetails:
+    def test_trace_from_execution_includes_fences(self):
+        from repro.analysis.tracecheck import TraceOpKind, trace_from_execution
+
+        program = get_test("SB+fences").program
+        execution = enumerate_behaviors(program, get_model("weak")).executions[0]
+        trace = trace_from_execution(execution)
+        kinds = [op.kind for _, ops in trace.threads for op in ops]
+        assert TraceOpKind.FENCE in kinds
+
+    def test_trace_initial_memory_carried(self):
+        from repro.analysis.tracecheck import trace_from_execution
+
+        builder = ProgramBuilder("init")
+        builder.init("x", 7)
+        builder.thread("T").load("r1", "x")
+        execution = enumerate_behaviors(builder.build(), get_model("sc")).executions[0]
+        trace = trace_from_execution(execution)
+        assert trace.initial == {"x": 7}

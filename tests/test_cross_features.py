@@ -1,0 +1,101 @@
+"""Cross-feature integration: extensions composed with each other."""
+
+import pytest
+
+from repro.analysis.coverage import coherent_machine, measure_coverage, ooo_machine
+from repro.core.enumerate import enumerate_behaviors
+from repro.litmus.families import mp_chain, sb_ring
+from repro.litmus.library import get_test
+from repro.models.registry import get_model
+from repro.multibyte import MultibyteBuilder
+from repro.operational.dataflow import run_dataflow
+from repro.operational.storebuffer import run_tso
+from repro.ooo import run_ooo
+
+
+class TestDataflowOnFamilies:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_sb_ring_equivalence(self, n):
+        program = sb_ring(n).program
+        axiomatic = enumerate_behaviors(program, get_model("weak")).register_outcomes()
+        assert run_dataflow(program, "weak").outcomes == axiomatic
+
+    def test_mp_chain_equivalence(self):
+        program = mp_chain(2).program
+        axiomatic = enumerate_behaviors(program, get_model("weak")).register_outcomes()
+        assert run_dataflow(program, "weak").outcomes == axiomatic
+
+
+class TestMultibyteUnderTso:
+    def test_tearing_program_axiomatic_equals_buffer_machine(self):
+        builder = MultibyteBuilder("tear-tso")
+        builder.thread("W").wide_store("x", 0x0101, 2)
+        builder.thread("R").wide_load("r9", "x", 2)
+        program, _ = builder.build()
+        axiomatic = enumerate_behaviors(program, get_model("tso")).register_outcomes()
+        assert run_tso(program).outcomes == axiomatic
+
+    def test_byte_cells_on_ooo_core(self):
+        builder = MultibyteBuilder("tear-ooo")
+        builder.thread("W").wide_store("x", 0x0101, 2)
+        builder.thread("R").wide_load("r9", "x", 2)
+        program, _ = builder.build()
+        tso = enumerate_behaviors(program, get_model("tso")).register_outcomes()
+        for seed in range(40):
+            assert run_ooo(program, seed=seed).registers in tso
+
+
+class TestCoverageOnFamilies:
+    def test_ooo_covers_sb_ring3(self):
+        report = measure_coverage(sb_ring(3).program, ooo_machine, "tso", max_seeds=400)
+        assert report.violations == 0
+        # the ring has more outcomes than the classic SB; partial coverage
+        # with a small budget is acceptable but must be nonzero
+        assert report.curve[-1].distinct > 0
+
+    def test_coherent_covers_mp_chain(self):
+        report = measure_coverage(
+            mp_chain(1).program, coherent_machine, "sc", max_seeds=300
+        )
+        assert report.violations == 0
+        assert report.complete
+
+
+class TestAnnotationsAcrossMachines:
+    def test_mp_ra_on_all_machines(self):
+        program = get_test("MP+ra").program
+        stale = frozenset({(("P1", "r1"), 1), (("P1", "r2"), 0)})
+        assert stale not in run_dataflow(program, "weak").outcomes
+        assert stale not in run_tso(program).outcomes
+        for seed in range(40):
+            assert run_ooo(program, seed=seed).registers != stale
+
+    def test_lock_handoff_on_ooo(self):
+        program = get_test("lock-handoff").program
+        for seed in range(40):
+            registers = dict(run_ooo(program, seed=seed).registers)
+            if registers.get(("P1", "r1")) == 0:
+                assert registers[("P1", "r2")] == 42
+
+
+class TestGeneratorMeetsFenceSynthesis:
+    def test_synthesized_fences_kill_generated_cycle(self):
+        from repro.analysis.fencesynth import synthesize_fences
+        from repro.litmus.generator import EdgeKindSpec as E
+        from repro.litmus.generator import generate
+
+        generated = generate([E.FRE, E.POD_WR, E.FRE, E.POD_WR], "gen-sb-fs")
+        synthesis = synthesize_fences(generated.test, "weak")
+        assert synthesis.fence_count == 2
+
+    def test_delays_cover_generated_cycle(self):
+        from repro.analysis.compare import check_robustness
+        from repro.analysis.delays import fence_delays
+        from repro.litmus.generator import EdgeKindSpec as E
+        from repro.litmus.generator import generate
+
+        generated = generate(
+            [E.POD_WW, E.RFE, E.POD_RW, E.WSE, E.POD_WW, E.WSE], "gen-z6-fs"
+        )
+        fenced = fence_delays(generated.test.program)
+        assert check_robustness(fenced, "weak").robust

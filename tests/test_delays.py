@@ -1,0 +1,86 @@
+"""Tests for the Shasha–Snir delay-set analysis."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.compare import check_robustness
+from repro.analysis.delays import DelayPair, delay_set, fence_delays, find_critical_cycles
+from repro.errors import ProgramError
+from repro.isa.dsl import ProgramBuilder
+from repro.litmus.library import get_test
+
+from tests.conftest import build_branchy
+from tests.test_properties import small_programs
+
+
+class TestCriticalCycles:
+    def test_sb_cycle(self):
+        report = delay_set(get_test("SB").program)
+        assert len(report.critical_cycles) == 1
+        assert set(report.delays) == {
+            DelayPair("P0", 0, 1),
+            DelayPair("P1", 0, 1),
+        }
+
+    def test_iriw_cycle_spans_four_threads(self):
+        report = delay_set(get_test("IRIW").program)
+        (cycle,) = report.critical_cycles
+        assert len({access.thread for access in cycle}) == 4
+        assert set(report.delays) == {
+            DelayPair("P2", 0, 1),
+            DelayPair("P3", 0, 1),
+        }
+
+    def test_corr_same_location_cycle(self):
+        report = delay_set(get_test("CoRR").program)
+        assert report.delays == (DelayPair("P1", 0, 1),)
+
+    def test_single_thread_no_cycles(self):
+        builder = ProgramBuilder("solo")
+        thread = builder.thread("T")
+        thread.store("x", 1)
+        thread.load("r1", "x")
+        assert find_critical_cycles(builder.build()) == []
+
+    def test_no_conflicts_no_cycles(self):
+        builder = ProgramBuilder("disjoint")
+        builder.thread("A").store("x", 1)
+        builder.thread("B").store("y", 1)
+        assert find_critical_cycles(builder.build()) == []
+
+    def test_existing_fences_filter_delays(self):
+        report = delay_set(get_test("SB+fences").program)
+        assert report.delays == ()
+        assert len(report.critical_cycles) == 1  # the cycle exists, enforced
+
+    def test_branchy_program_rejected(self):
+        with pytest.raises(ProgramError):
+            delay_set(build_branchy())
+
+    def test_pointer_program_rejected(self):
+        builder = ProgramBuilder("ptr")
+        builder.init("p", "x")
+        thread = builder.thread("T")
+        thread.load("r1", "p")
+        thread.store("r1", 1)
+        with pytest.raises(ProgramError):
+            delay_set(builder.build())
+
+
+class TestFencingTheorem:
+    @pytest.mark.parametrize("name", ["SB", "MP", "LB", "IRIW", "R", "S", "2+2W", "CoRR", "WRC"])
+    def test_fencing_delays_restores_robustness(self, name):
+        program = get_test(name).program
+        fenced = fence_delays(program)
+        assert check_robustness(fenced, "weak").robust
+
+    def test_delays_necessary_for_sb(self):
+        assert not check_robustness(get_test("SB").program, "weak").robust
+
+    @given(small_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_property_fenced_delays_robust(self, program):
+        """The Shasha–Snir theorem on random straight-line programs:
+        fencing every delay pair yields WEAK behavior == SC behavior."""
+        fenced = fence_delays(program)
+        assert check_robustness(fenced, "weak").robust

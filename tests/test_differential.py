@@ -1,0 +1,78 @@
+"""Differential stress tests across every machine in the repository.
+
+For one program, the repository now has up to six independent
+implementations of "what can happen":
+
+1. the axiomatic enumerator (per model),
+2. the SC interleaving machine,
+3. the TSO/PSO store-buffer machines,
+4. the ≺-linearization dataflow machine (per store-atomic model),
+5. the MSI/MESI coherent multiprocessor (single schedules, SC),
+6. the out-of-order core (single schedules, TSO).
+
+These tests pit them against each other on the generated cycle programs
+— inputs none of the implementations were written against.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.coherence import run_coherent, verify_run
+from repro.litmus.generator import generate
+from repro.models.registry import get_model
+from repro.ooo import run_ooo
+from repro.operational.dataflow import run_dataflow
+from repro.operational.sc import run_sc
+from repro.operational.storebuffer import run_tso
+
+from tests.test_generator import _PO_EDGES, random_cycles, _generate_or_skip
+
+
+@given(random_cycles())
+@settings(max_examples=12, deadline=None)
+def test_six_way_agreement_on_generated_programs(cycle):
+    program = _generate_or_skip(cycle).test.program
+
+    sc_axiomatic = enumerate_behaviors(program, get_model("sc")).register_outcomes()
+    tso_axiomatic = enumerate_behaviors(program, get_model("tso")).register_outcomes()
+    weak_axiomatic = enumerate_behaviors(program, get_model("weak")).register_outcomes()
+
+    # operational equivalences
+    assert run_sc(program).outcomes == sc_axiomatic
+    assert run_tso(program).outcomes == tso_axiomatic
+    assert run_dataflow(program, "weak").outcomes == weak_axiomatic
+
+    # inclusion chain across paradigms
+    assert sc_axiomatic <= tso_axiomatic <= weak_axiomatic
+
+    # single-schedule machines stay inside their models
+    for seed in range(6):
+        assert run_coherent(program, seed=seed).registers in sc_axiomatic
+        assert run_ooo(program, seed=seed).registers in tso_axiomatic
+
+
+@given(random_cycles())
+@settings(max_examples=8, deadline=None)
+def test_coherent_runs_conform_on_generated_programs(cycle):
+    program = _generate_or_skip(cycle).test.program
+    sc_outcomes = run_sc(program).outcomes
+    for seed in range(4):
+        report = verify_run(run_coherent(program, seed=seed), sc_outcomes=sc_outcomes)
+        assert report.conforms
+
+
+def test_agreement_on_a_fixed_large_cycle():
+    """A six-edge cycle exercising three threads and three locations."""
+    from repro.litmus.generator import EdgeKindSpec as E
+
+    generated = generate(
+        [E.POD_WW, E.RFE, E.POD_RW, E.WSE, E.POD_WW, E.WSE], "differential-z6"
+    )
+    program = generated.test.program
+    weak_axiomatic = enumerate_behaviors(program, get_model("weak")).register_outcomes()
+    assert run_dataflow(program, "weak").outcomes == weak_axiomatic
+    tso_axiomatic = enumerate_behaviors(program, get_model("tso")).register_outcomes()
+    assert run_tso(program).outcomes == tso_axiomatic
+    for seed in range(10):
+        assert run_ooo(program, seed=seed).registers in tso_axiomatic

@@ -1,0 +1,47 @@
+"""Round-trip tests for the disassembler."""
+
+import pytest
+
+from repro.isa.assembler import assemble, assemble_program
+from repro.isa.disassembler import disassemble, export_library
+from repro.litmus.library import all_tests
+from repro.litmus.conditions import parse_condition
+from repro.litmus.families import mp_chain, sb_ring
+
+
+_LIBRARY = all_tests()
+
+
+@pytest.mark.parametrize("test", _LIBRARY, ids=[t.name for t in _LIBRARY])
+def test_library_round_trip(test):
+    """assemble(disassemble(p)) reproduces every library program exactly,
+    and the condition survives the text round trip too."""
+    text = disassemble(test.program, str(test.condition))
+    assembled = assemble(text)
+    assert assembled.program == test.program
+    assert parse_condition(assembled.condition_text) == test.condition
+
+
+def test_families_round_trip():
+    for test in (sb_ring(3), mp_chain(2, fenced=True)):
+        text = disassemble(test.program, str(test.condition))
+        assembled = assemble(text)
+        assert assembled.program == test.program
+
+
+def test_disassemble_preserves_labels():
+    from repro.litmus.library import get_test
+
+    program = get_test("dekker").program
+    text = disassemble(program)
+    assert "out0:" in text and "out1:" in text
+    assert assemble_program(text) == program
+
+
+def test_export_library(tmp_path):
+    written = export_library(tmp_path)
+    assert len(written) == len(_LIBRARY)
+    sample = next(path for path in written if path.name == "SB.litmus")
+    assembled = assemble(sample.read_text())
+    assert assembled.program.name == "SB"
+    assert assembled.condition_text is not None

@@ -1,0 +1,91 @@
+"""Unit tests for the Python builder DSL."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.dsl import ProgramBuilder
+from repro.isa.instructions import Branch, Compute, Load, Rmw, RmwKind, Store
+from repro.isa.operands import Const, Reg
+
+
+class TestThreadBuilder:
+    def test_chaining(self):
+        builder = ProgramBuilder("p")
+        thread = builder.thread("T").store("x", 1).load("r1", "x").fence()
+        program = builder.build()
+        assert thread is builder._threads[0]
+        assert len(program.threads[0].code) == 3
+
+    def test_register_string_convention(self):
+        """Strings matching r<digits> are registers, others locations."""
+        builder = ProgramBuilder("p")
+        t = builder.thread("T")
+        t.load("r1", "x")
+        t.store("r1", 7)  # register-indirect store through r1
+        t.store("ready", 1)  # 'ready' is a location, not a register
+        code = builder.build().threads[0].code
+        assert code[1] == Store(Reg("r1"), Const(7))
+        assert code[2] == Store(Const("ready"), Const(1))
+
+    def test_compute_helpers(self):
+        builder = ProgramBuilder("p")
+        t = builder.thread("T")
+        t.mov("r1", 5)
+        t.add("r2", "r1", 1)
+        t.eq("r3", "r2", 6)
+        code = builder.build().threads[0].code
+        assert code[0] == Compute(Reg("r1"), "mov", (Const(5),))
+        assert code[1] == Compute(Reg("r2"), "add", (Reg("r1"), Const(1)))
+        assert code[2] == Compute(Reg("r3"), "eq", (Reg("r2"), Const(6)))
+
+    def test_branches_and_labels(self):
+        builder = ProgramBuilder("p")
+        t = builder.thread("T")
+        t.label("top")
+        t.load("r1", "x")
+        t.beqz("r1", "top")
+        t.jmp("end")
+        t.label("end")
+        thread = builder.build().threads[0]
+        assert thread.labels == {"top": 0, "end": 3}
+        assert isinstance(thread.code[1], Branch)
+
+    def test_duplicate_label_rejected(self):
+        builder = ProgramBuilder("p")
+        t = builder.thread("T")
+        t.label("l")
+        with pytest.raises(ProgramError):
+            t.label("l")
+
+    def test_rmw_builders(self):
+        builder = ProgramBuilder("p")
+        t = builder.thread("T")
+        t.cas("r1", "l", 0, 1)
+        t.xchg("r2", "x", 9)
+        t.fetch_add("r3", "c", 1)
+        code = builder.build().threads[0].code
+        assert code[0] == Rmw(Reg("r1"), Const("l"), RmwKind.CAS, (Const(0), Const(1)))
+        assert code[1] == Rmw(Reg("r2"), Const("x"), RmwKind.EXCHANGE, (Const(9),))
+        assert code[2] == Rmw(Reg("r3"), Const("c"), RmwKind.FETCH_ADD, (Const(1),))
+
+
+class TestProgramBuilder:
+    def test_auto_thread_names(self):
+        builder = ProgramBuilder("p")
+        builder.thread().store("x", 1)
+        builder.thread().store("y", 1)
+        program = builder.build()
+        assert [t.name for t in program.threads] == ["P0", "P1"]
+
+    def test_init_values(self):
+        builder = ProgramBuilder("p")
+        builder.thread("T").load("r1", "x")
+        builder.init("x", 42)
+        program = builder.build()
+        assert program.initial_value("x") == 42
+
+    def test_load_instruction_shape(self):
+        builder = ProgramBuilder("p")
+        builder.thread("T").load(Reg("r1"), "x")
+        code = builder.build().threads[0].code
+        assert code[0] == Load(Reg("r1"), Const("x"))

@@ -1,0 +1,161 @@
+"""Edge-case tests consolidating odd corners across modules."""
+
+import pytest
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.core.serialization import all_serializations, find_serialization
+from repro.isa.assembler import assemble_program, parse_instruction
+from repro.isa.dsl import ProgramBuilder
+from repro.litmus.conditions import parse_condition
+from repro.litmus.runner import run_litmus
+from repro.litmus.test import LitmusTest
+from repro.models.registry import get_model
+
+
+class TestRmwSerialization:
+    def test_rmw_chain_has_single_order(self):
+        """Two fetch-adds to one location serialize in exactly two orders,
+        each fully determined by who read the init value."""
+        builder = ProgramBuilder("ff")
+        builder.thread("A").fetch_add("r1", "c", 1)
+        builder.thread("B").fetch_add("r2", "c", 1)
+        result = enumerate_behaviors(builder.build(), get_model("weak"))
+        assert len(result) == 2
+        for execution in result.executions:
+            orders = all_serializations(execution)
+            assert len(orders) == 1  # init, then the two RMWs in one order
+
+    def test_failed_cas_serializes_as_pure_read(self):
+        builder = ProgramBuilder("fc")
+        builder.init("l", 5)
+        builder.thread("A").cas("r1", "l", 0, 1)  # fails: l == 5
+        (execution,) = enumerate_behaviors(builder.build(), get_model("sc")).executions
+        node = next(n for n in execution.graph.nodes if n.reads_memory)
+        assert not node.writes  # the failed CAS made nothing visible
+        assert find_serialization(execution) is not None
+        assert execution.final_registers()[("A", "r1")] == 5
+
+
+class TestConditionCorners:
+    def test_or_condition_counts_pairs(self):
+        test = LitmusTest(
+            name="or-test",
+            program=_sb(),
+            condition=parse_condition("exists (P0:r1=0 \\/ P1:r2=0)"),
+        )
+        verdict = run_litmus(test, "sc")
+        assert verdict.holds
+        assert 0 < verdict.satisfied_pairs < verdict.total_pairs
+
+    def test_not_condition(self):
+        test = LitmusTest(
+            name="not-test",
+            program=_sb(),
+            condition=parse_condition("forall not (P0:r1=0 /\\ P1:r2=0)"),
+        )
+        assert run_litmus(test, "sc").holds
+        assert not run_litmus(test, "weak").holds
+
+    def test_memory_atom_on_unwritten_location(self):
+        test = LitmusTest(
+            name="mem-test",
+            program=_sb(),
+            condition=parse_condition("forall ([x]=1 \\/ [x]=0)"),
+        )
+        assert run_litmus(test, "weak").holds
+
+    def test_mixed_register_and_memory(self):
+        test = LitmusTest(
+            name="mixed",
+            program=_sb(),
+            condition=parse_condition("exists (P0:r1=1 /\\ [y]=1)"),
+        )
+        assert run_litmus(test, "sc").holds
+
+
+class TestAssemblerCorners:
+    def test_whitespace_tolerance(self):
+        program = assemble_program("thread T\n   S   x ,  1 \n  r1   =  L   x\n")
+        assert program.instruction_count() == 2
+
+    def test_case_insensitive_keywords(self):
+        program = assemble_program("THREAD T\n  S x, 1\n")
+        assert program.threads[0].name == "T"
+
+    def test_fence_case(self):
+        from repro.isa.instructions import Fence
+
+        assert parse_instruction("FENCE".lower()) == Fence()
+
+    def test_negative_store_value(self):
+        from repro.isa.instructions import Store
+        from repro.isa.operands import Const
+
+        assert parse_instruction("S x, -5") == Store(Const("x"), Const(-5))
+
+    def test_acq_on_store_is_error(self):
+        from repro.errors import AssemblerError
+
+        with pytest.raises(AssemblerError):
+            parse_instruction("S.acq x, 1")
+
+
+class TestSelfCommunication:
+    def test_thread_reading_own_store_chain(self):
+        builder = ProgramBuilder("self")
+        thread = builder.thread("T")
+        thread.store("x", 1)
+        thread.load("r1", "x")
+        thread.store("x", "r1")
+        thread.load("r2", "x")
+        for model_name in ("sc", "tso", "weak"):
+            result = enumerate_behaviors(builder.build(), get_model(model_name))
+            assert len(result) == 1, model_name
+            registers = result.executions[0].final_registers()
+            assert registers[("T", "r1")] == 1
+            assert registers[("T", "r2")] == 1
+
+    def test_store_value_through_three_registers(self):
+        builder = ProgramBuilder("chain3")
+        thread = builder.thread("T")
+        thread.mov("r1", 7)
+        thread.mov("r2", "r1")
+        thread.mov("r3", "r2")
+        thread.store("x", "r3")
+        thread.load("r4", "x")
+        (execution,) = enumerate_behaviors(builder.build(), get_model("weak")).executions
+        assert execution.final_registers()[("T", "r4")] == 7
+
+
+class TestSingleThreadDeterminism:
+    """Section 2: 'this ensures that single-threaded execution will be
+    deterministic' — every model, every single-threaded program, one
+    behavior."""
+
+    @pytest.mark.parametrize("model_name", ["sc", "tso", "pso", "weak", "weak-corr"])
+    def test_deterministic(self, model_name):
+        builder = ProgramBuilder("det")
+        thread = builder.thread("T")
+        thread.store("x", 1)
+        thread.store("y", 2)
+        thread.load("r1", "x")
+        thread.store("x", 3)
+        thread.load("r2", "x")
+        thread.load("r3", "y")
+        result = enumerate_behaviors(builder.build(), get_model(model_name))
+        assert len(result) == 1
+        registers = result.executions[0].final_registers()
+        assert registers[("T", "r1")] == 1
+        assert registers[("T", "r2")] == 3
+        assert registers[("T", "r3")] == 2
+
+
+def _sb():
+    builder = ProgramBuilder("SB")
+    p0 = builder.thread("P0")
+    p0.store("x", 1)
+    p0.load("r1", "y")
+    p1 = builder.thread("P1")
+    p1.store("y", 1)
+    p1.load("r2", "x")
+    return builder.build()

@@ -1,0 +1,89 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process (runpy) with stdout captured; the
+assertions check for the headline facts each script prints, so a silent
+regression in an example's logic fails here rather than in a user's
+terminal.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys, argv: list[str] | None = None) -> str:
+    saved_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "sc          3 executions" in out
+    assert "weak        4 executions" in out
+
+
+def test_verify_locking(capsys):
+    out = run_example("verify_locking.py", capsys)
+    assert "mutual exclusion VIOLATED" in out
+    assert "WELL SYNCHRONIZED" in out
+
+
+def test_speculation_study(capsys):
+    out = run_example("speculation_study.py", capsys)
+    assert "NEW behaviors only possible with speculation" in out
+    assert "rolled back" in out
+
+
+def test_tso_bypass(capsys):
+    out = run_example("tso_bypass.py", capsys)
+    assert "axiomatic TSO == operational TSO outcome sets: True" in out
+    assert "~bypass~>" in out
+
+
+def test_coherence_audit(capsys):
+    out = run_example("coherence_audit.py", capsys)
+    assert "conform" in out
+    assert "ownership-transfer" in out
+
+
+def test_litmus_explorer_overview(capsys):
+    out = run_example("litmus_explorer.py", capsys)
+    assert "holds on every test" in out
+
+
+def test_litmus_explorer_zoom(capsys):
+    out = run_example("litmus_explorer.py", capsys, argv=["IRIW+fences"])
+    assert "IRIW+fences" in out
+
+
+def test_trace_checking(capsys):
+    out = run_example("trace_checking.py", capsys)
+    assert "double Figure 5, rules ab : trace ACCEPTED" in out
+    assert "double Figure 5, rules abc: trace REJECTED" in out
+
+
+def test_cycle_synthesis(capsys):
+    out = run_example("cycle_synthesis.py", capsys)
+    assert "PREDICTION WRONG" not in out
+
+
+def test_fence_synthesis(capsys):
+    out = run_example("fence_synthesis.py", capsys)
+    assert "MP under pso: 1 fence(s) suffice" in out
+    assert "MP+ra is robust" in out
+
+
+@pytest.mark.slow
+def test_ooo_conformance(capsys):
+    out = run_example("ooo_conformance.py", capsys)
+    assert "0 violations" in out
+    assert "non-TSO outcome" in out

@@ -1,0 +1,101 @@
+"""Tests for the forbidden-outcome explanation tool."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis.explain import explain_trace
+from repro.analysis.tracecheck import Trace, TraceOp
+from repro.experiments.tracecheck_exp import fig5_trace, sb_trace
+
+S, L, F = TraceOp.store, TraceOp.load, TraceOp.fence
+
+
+class TestExplain:
+    def test_observable_outcome(self):
+        explanation = explain_trace(sb_trace(0, 0), "weak")
+        assert not explanation.forbidden
+        assert "IS observable" in explanation.render()
+
+    def test_sb_under_sc_forbidden_with_reason(self):
+        explanation = explain_trace(sb_trace(0, 0), "sc")
+        assert explanation.forbidden
+        assert explanation.contradictions
+        text = explanation.render()
+        assert "needs" in text and "already forced" in text
+
+    def test_fenced_sb_forbidden_under_weak(self):
+        fenced = Trace(
+            (
+                ("P0", (S("x", 1), F(), L("y", 0))),
+                ("P1", (S("y", 1), F(), L("x", 0))),
+            )
+        )
+        explanation = explain_trace(fenced, "weak")
+        assert explanation.forbidden
+        # the contradiction names the init store it would have to follow
+        assert any("init" in c.obligation for c in explanation.contradictions)
+
+    def test_fig5_forbidden_l9(self):
+        explanation = explain_trace(fig5_trace(2, 4, 6, 1), "weak")
+        assert explanation.forbidden
+        assert explanation.contradictions
+
+    def test_every_contradiction_has_an_assignment(self):
+        explanation = explain_trace(sb_trace(0, 0), "sc")
+        for contradiction in explanation.contradictions:
+            assert contradiction.assignment
+            assert "⊑" in contradiction.obligation
+
+    def test_bypass_model_rejected(self):
+        with pytest.raises(ReproError):
+            explain_trace(sb_trace(0, 0), "tso")
+
+    def test_agrees_with_trace_checker(self):
+        """explain_trace's verdict must agree with check_trace on a sweep."""
+        from itertools import product
+
+        from repro.analysis.tracecheck import check_trace
+
+        for r1, r2 in product((0, 1), repeat=2):
+            trace = sb_trace(r1, r2)
+            for model in ("sc", "weak"):
+                assert (
+                    explain_trace(trace, model).forbidden
+                    != check_trace(trace, model).accepted
+                )
+
+
+class TestFindPath:
+    def test_path_through_intermediate(self):
+        from repro.core.graph import EdgeKind, ExecutionGraph
+        from repro.core.node import Node
+        from repro.isa.instructions import OpClass
+
+        graph = ExecutionGraph()
+        for nid in range(3):
+            graph.add_node(Node(nid, 0, nid, None, OpClass.COMPUTE))
+        graph.add_edge(0, 1, EdgeKind.PROGRAM)
+        graph.add_edge(1, 2, EdgeKind.DATA)
+        path = graph.find_path(0, 2)
+        assert [(u, v) for u, v, _ in path] == [(0, 1), (1, 2)]
+
+    def test_no_path(self):
+        from repro.core.graph import ExecutionGraph
+        from repro.core.node import Node
+        from repro.isa.instructions import OpClass
+
+        graph = ExecutionGraph()
+        for nid in range(2):
+            graph.add_node(Node(nid, 0, nid, None, OpClass.COMPUTE))
+        assert graph.find_path(0, 1) is None
+
+    def test_bypass_edges_do_not_carry_paths(self):
+        from repro.core.graph import EdgeKind, ExecutionGraph
+        from repro.core.node import Node
+        from repro.isa.instructions import OpClass
+
+        graph = ExecutionGraph()
+        for nid in range(2):
+            graph.add_node(Node(nid, 0, nid, None, OpClass.COMPUTE))
+        graph.add_edge(0, 1, EdgeKind.BYPASS)
+        assert graph.find_path(0, 1) is None

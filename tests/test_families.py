@@ -1,0 +1,81 @@
+"""Tests for the parametric litmus families."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.core.enumerate import enumerate_behaviors
+from repro.litmus.families import independent_writers, mp_chain, sb_ring
+from repro.litmus.library import get_test
+from repro.litmus.runner import run_litmus
+from repro.models.registry import get_model
+
+MODELS = ("sc", "tso", "pso", "weak")
+
+
+class TestSbRing:
+    def test_minimum_size(self):
+        with pytest.raises(ProgramError):
+            sb_ring(1)
+
+    def test_ring_of_two_is_sb(self):
+        ring = sb_ring(2)
+        classic = get_test("SB")
+        for model_name in MODELS:
+            assert (
+                run_litmus(ring, model_name).holds
+                == run_litmus(classic, model_name).holds
+            )
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_expectations_uniform_in_n(self, n, model_name):
+        verdict = run_litmus(sb_ring(n), model_name)
+        assert verdict.matches_expectation, (n, model_name)
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_fenced_ring_forbidden(self, n):
+        for model_name in MODELS:
+            assert not run_litmus(sb_ring(n, fenced=True), model_name).holds
+
+    def test_behavior_count_grows(self):
+        weak = get_model("weak")
+        small = len(enumerate_behaviors(sb_ring(2).program, weak))
+        large = len(enumerate_behaviors(sb_ring(3).program, weak))
+        assert large > small
+
+
+class TestMpChain:
+    def test_minimum_size(self):
+        with pytest.raises(ProgramError):
+            mp_chain(0)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_expectations_uniform_in_n(self, n, model_name):
+        verdict = run_litmus(mp_chain(n), model_name)
+        assert verdict.matches_expectation, (n, model_name)
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_fenced_chain_forbidden_under_weak(self, n):
+        assert not run_litmus(mp_chain(n, fenced=True), "weak").holds
+
+    def test_chain_of_one_is_mp(self):
+        chain = mp_chain(1)
+        classic = get_test("MP")
+        for model_name in MODELS:
+            assert (
+                run_litmus(chain, model_name).holds
+                == run_litmus(classic, model_name).holds
+            )
+
+
+class TestIndependentWriters:
+    def test_minimum_size(self):
+        with pytest.raises(ProgramError):
+            independent_writers(1)
+
+    @pytest.mark.parametrize("readers", [2, 3])
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_expectations(self, readers, model_name):
+        verdict = run_litmus(independent_writers(readers), model_name)
+        assert verdict.matches_expectation, (readers, model_name)

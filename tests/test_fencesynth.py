@@ -1,0 +1,84 @@
+"""Tests for minimal fence synthesis."""
+
+import pytest
+
+from repro.analysis.fencesynth import (
+    FenceSite,
+    candidate_sites,
+    insert_fences,
+    synthesize_fences,
+)
+from repro.core.enumerate import enumerate_behaviors
+from repro.isa.instructions import Fence
+from repro.litmus.library import get_test
+from repro.litmus.runner import run_litmus
+from repro.litmus.test import LitmusTest
+from repro.models.registry import get_model
+
+
+class TestSites:
+    def test_sb_has_one_gap_per_thread(self):
+        sites = candidate_sites(get_test("SB").program)
+        assert sites == (FenceSite("P0", 1), FenceSite("P1", 1))
+
+    def test_existing_fences_excluded(self):
+        sites = candidate_sites(get_test("SB+fences").program)
+        assert sites == ()
+
+    def test_insert_preserves_labels(self):
+        program = get_test("dekker-nofence").program
+        fenced = insert_fences(program, (FenceSite("P0", 1),))
+        thread = fenced.threads[0]
+        assert isinstance(thread.code[1], Fence)
+        # the out0 label must still point past the (shifted) fetch-add
+        assert thread.labels["out0"] == program.threads[0].labels["out0"] + 1
+
+    def test_insert_behavior_matches_handwritten_fences(self):
+        plain = get_test("SB").program
+        fenced = insert_fences(
+            plain, (FenceSite("P0", 1), FenceSite("P1", 1))
+        )
+        handwritten = get_test("SB+fences").program
+        weak = get_model("weak")
+        assert (
+            enumerate_behaviors(fenced, weak).register_outcomes()
+            == enumerate_behaviors(handwritten, weak).register_outcomes()
+        )
+
+
+class TestSynthesis:
+    def test_sb_weak_needs_both(self):
+        synthesis = synthesize_fences(get_test("SB"), "weak")
+        assert synthesis.fence_count == 2
+        assert synthesis.solutions == [(FenceSite("P0", 1), FenceSite("P1", 1))]
+
+    def test_mp_pso_needs_writer_only(self):
+        synthesis = synthesize_fences(get_test("MP"), "pso")
+        assert synthesis.solutions == [(FenceSite("P0", 1),)]
+
+    def test_r_tso_single_fence(self):
+        synthesis = synthesize_fences(get_test("R"), "tso")
+        assert synthesis.solutions == [(FenceSite("P1", 1),)]
+
+    def test_already_forbidden(self):
+        synthesis = synthesize_fences(get_test("SB"), "sc")
+        assert synthesis.already_forbidden
+        assert synthesis.fence_count == 0
+
+    def test_solutions_actually_work(self):
+        """Verify every reported solution end-to-end via the runner."""
+        test = get_test("MP")
+        synthesis = synthesize_fences(test, "weak")
+        for solution in synthesis.solutions:
+            fenced_program = insert_fences(test.program, solution)
+            fenced_test = LitmusTest(
+                name="MP-fenced",
+                program=fenced_program,
+                condition=test.condition,
+            )
+            assert not run_litmus(fenced_test, "weak").holds
+
+    def test_max_fences_budget(self):
+        synthesis = synthesize_fences(get_test("SB"), "weak", max_fences=1)
+        assert synthesis.fence_count is None
+        assert synthesis.subsets_checked == 2

@@ -1,0 +1,100 @@
+"""Tests for realizable final-memory assignments of partial orders."""
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.isa.dsl import ProgramBuilder
+from repro.litmus.finalstate import realizable_final_memory
+from repro.models.registry import get_model
+
+
+def single_execution(program, model="sc"):
+    result = enumerate_behaviors(program, get_model(model))
+    assert len(result.executions) >= 1
+    return result.executions
+
+
+class TestRealizableFinals:
+    def test_no_locations_yields_empty_assignment(self, sb_program):
+        (execution, *_) = single_execution(sb_program)
+        assert realizable_final_memory(execution, frozenset()) == [{}]
+
+    def test_never_written_location_keeps_init(self):
+        builder = ProgramBuilder("quiet")
+        builder.thread("T").load("r1", "x")
+        (execution,) = single_execution(builder.build())
+        assignments = realizable_final_memory(execution, frozenset({"x"}))
+        assert assignments == [{"x": 0}]
+
+    def test_unknown_location_gives_no_assignment(self, sb_program):
+        (execution, *_) = single_execution(sb_program)
+        assert realizable_final_memory(execution, frozenset({"nope"})) == []
+
+    def test_ordered_stores_unique_final(self):
+        builder = ProgramBuilder("ordered")
+        t = builder.thread("T")
+        t.store("x", 1)
+        t.store("x", 2)
+        (execution,) = single_execution(builder.build())
+        assert realizable_final_memory(execution, frozenset({"x"})) == [{"x": 2}]
+
+    def test_racing_stores_both_realizable(self):
+        builder = ProgramBuilder("race")
+        builder.thread("A").store("x", 1)
+        builder.thread("B").store("x", 2)
+        (execution,) = single_execution(builder.build(), "weak")
+        assignments = realizable_final_memory(execution, frozenset({"x"}))
+        assert sorted(a["x"] for a in assignments) == [1, 2]
+
+    def test_joint_realizability_filters_cross_constraints(self):
+        """2+2W under SC: per-address candidates exist for (x=1, y=1) but
+        the pair is jointly impossible because each thread's stores stay
+        program-ordered and the required orders form a cycle."""
+        builder = ProgramBuilder("2+2w")
+        a = builder.thread("A")
+        a.store("x", 1)
+        a.store("y", 2)
+        b = builder.thread("B")
+        b.store("y", 1)
+        b.store("x", 2)
+        joint = set()
+        for execution in single_execution(builder.build(), "sc"):
+            for assignment in realizable_final_memory(
+                execution, frozenset({"x", "y"})
+            ):
+                joint.add((assignment["x"], assignment["y"]))
+        assert (1, 1) not in joint
+        assert (2, 2) in joint
+
+    def test_pso_makes_the_forbidden_final_realizable(self):
+        builder = ProgramBuilder("2+2w-pso")
+        a = builder.thread("A")
+        a.store("x", 1)
+        a.store("y", 2)
+        b = builder.thread("B")
+        b.store("y", 1)
+        b.store("x", 2)
+        joint = set()
+        for execution in single_execution(builder.build(), "pso"):
+            for assignment in realizable_final_memory(
+                execution, frozenset({"x", "y"})
+            ):
+                joint.add((assignment["x"], assignment["y"]))
+        assert (1, 1) in joint
+
+    def test_observation_pins_final_value(self):
+        """CoWR: once the local load observes the remote overwrite, the
+        local store is ordered first and the final value is fixed."""
+        builder = ProgramBuilder("cowr")
+        a = builder.thread("A")
+        a.store("x", 1)
+        a.load("r1", "x")
+        builder.thread("B").store("x", 2)
+        for execution in enumerate_behaviors(
+            builder.build(), get_model("weak")
+        ).executions:
+            registers = execution.final_registers()
+            finals = {
+                assignment["x"]
+                for assignment in realizable_final_memory(execution, frozenset({"x"}))
+            }
+            if registers[("A", "r1")] == 2:
+                assert finals == {2}

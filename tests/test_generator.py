@@ -1,0 +1,145 @@
+"""Tests for the diy-style cycle generator."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProgramError
+from repro.core.enumerate import enumerate_behaviors
+from repro.litmus.generator import EdgeKindSpec as E
+from repro.litmus.generator import generate, predict_verdict
+from repro.litmus.runner import run_litmus
+from repro.models.registry import get_model
+from repro.operational.sc import run_sc
+from repro.operational.storebuffer import run_tso
+
+_CANONICAL = {
+    "SB": [E.FRE, E.POD_WR, E.FRE, E.POD_WR],
+    "MP": [E.POD_WW, E.RFE, E.POD_RR, E.FRE],
+    "LB": [E.POD_RW, E.RFE, E.POD_RW, E.RFE],
+    "2+2W": [E.POD_WW, E.WSE, E.POD_WW, E.WSE],
+    "IRIW": [E.RFE, E.POD_RR, E.FRE, E.RFE, E.POD_RR, E.FRE],
+    "R": [E.POD_WW, E.WSE, E.POD_WR, E.FRE],
+    "S": [E.POD_WW, E.RFE, E.POD_RW, E.WSE],
+    "Z6": [E.POD_WW, E.RFE, E.POD_RW, E.WSE, E.POD_WW, E.WSE],
+}
+
+
+class TestValidation:
+    def test_too_short(self):
+        with pytest.raises(ProgramError):
+            generate([E.RFE])
+
+    def test_needs_communication(self):
+        with pytest.raises(ProgramError):
+            generate([E.POD_WR, E.POD_RW])
+
+    def test_needs_program_order(self):
+        with pytest.raises(ProgramError):
+            generate([E.RFE, E.FRE])
+
+    def test_kind_chaining_checked(self):
+        # Rfe targets R; PodWR sources W: mismatch.
+        with pytest.raises(ProgramError):
+            generate([E.RFE, E.POD_WR, E.FRE, E.POD_WR])
+
+    def test_consecutive_wse_rejected(self):
+        with pytest.raises(ProgramError):
+            generate([E.WSE, E.WSE, E.POD_WW])
+
+
+class TestCanonicalShapes:
+    def test_sb_shape(self):
+        generated = generate(_CANONICAL["SB"], "genSB")
+        assert len(generated.test.program.threads) == 2
+        assert generated.test.program.instruction_count() == 4
+
+    def test_iriw_shape_has_four_threads(self):
+        generated = generate(_CANONICAL["IRIW"])
+        assert len(generated.test.program.threads) == 4
+
+    @pytest.mark.parametrize("name", sorted(_CANONICAL))
+    @pytest.mark.parametrize("model_name", ["sc", "tso", "pso", "weak"])
+    def test_prediction_matches_enumerator(self, name, model_name):
+        generated = generate(_CANONICAL[name], f"gen-{name}")
+        verdict = run_litmus(generated.test, model_name)
+        assert verdict.holds == predict_verdict(generated, model_name), (
+            f"{name} under {model_name}"
+        )
+
+    def test_sc_never_observes_a_critical_cycle(self):
+        for name, cycle in _CANONICAL.items():
+            generated = generate(cycle, f"sc-{name}")
+            assert not predict_verdict(generated, "sc")
+            assert not run_litmus(generated.test, "sc").holds
+
+
+_PO_EDGES = [
+    E.POD_RR,
+    E.POD_RW,
+    E.POD_WR,
+    E.POD_WW,
+    E.FEN_RR,
+    E.FEN_RW,
+    E.FEN_WR,
+    E.FEN_WW,
+]
+
+#: Communication edges joining a po-edge target kind to the next po-edge
+#: source kind (R→R needs a write in between: Fre then Rfe).
+_JOIN = {
+    ("R", "W"): [E.FRE],
+    ("W", "R"): [E.RFE],
+    ("W", "W"): [E.WSE],
+    ("R", "R"): [E.FRE, E.RFE],
+}
+
+
+@st.composite
+def random_cycles(draw):
+    """Random well-formed cycles built constructively: 2–3 po edges, each
+    in its own thread, joined by matching communication edges."""
+    po_edges = draw(st.lists(st.sampled_from(_PO_EDGES), min_size=2, max_size=3))
+    cycle = []
+    for index, edge in enumerate(po_edges):
+        cycle.append(edge)
+        following = po_edges[(index + 1) % len(po_edges)]
+        cycle.extend(_JOIN[(edge.target_kind, following.source_kind)])
+    return cycle
+
+
+def _generate_or_skip(cycle):
+    try:
+        return generate(cycle)
+    except ProgramError:
+        assume(False)
+
+
+class TestRandomCycles:
+    @given(random_cycles())
+    @settings(max_examples=40, deadline=None)
+    def test_prediction_matches_enumerator_weak(self, cycle):
+        generated = _generate_or_skip(cycle)
+        verdict = run_litmus(generated.test, "weak")
+        assert verdict.holds == predict_verdict(generated, "weak")
+
+    @given(random_cycles())
+    @settings(max_examples=25, deadline=None)
+    def test_prediction_matches_enumerator_tso(self, cycle):
+        generated = _generate_or_skip(cycle)
+        verdict = run_litmus(generated.test, "tso")
+        assert verdict.holds == predict_verdict(generated, "tso")
+
+    @given(random_cycles())
+    @settings(max_examples=20, deadline=None)
+    def test_generated_programs_cross_validate(self, cycle):
+        """Generated programs keep axiomatic ≡ operational equality."""
+        program = _generate_or_skip(cycle).test.program
+        assert (
+            enumerate_behaviors(program, get_model("sc")).register_outcomes()
+            == run_sc(program).outcomes
+        )
+        assert (
+            enumerate_behaviors(program, get_model("tso")).register_outcomes()
+            == run_tso(program).outcomes
+        )

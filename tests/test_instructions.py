@@ -1,0 +1,165 @@
+"""Unit tests for the static instruction set."""
+
+import pytest
+
+from repro.errors import ExecutionError, ProgramError
+from repro.isa.instructions import (
+    Branch,
+    Compute,
+    Fence,
+    FenceKind,
+    Load,
+    OpClass,
+    Rmw,
+    RmwKind,
+    Store,
+    alu_eval,
+)
+from repro.isa.operands import Const, Reg
+
+
+class TestOpClass:
+    def test_memory_classification(self):
+        assert OpClass.LOAD.reads_memory() and not OpClass.LOAD.writes_memory()
+        assert OpClass.STORE.writes_memory() and not OpClass.STORE.reads_memory()
+        assert OpClass.RMW.reads_memory() and OpClass.RMW.writes_memory()
+        assert not OpClass.COMPUTE.is_memory()
+        assert not OpClass.FENCE.is_memory()
+        assert not OpClass.BRANCH.is_memory()
+
+
+class TestFenceKind:
+    def test_full_fence_orders_all_memory(self):
+        for cls in (OpClass.LOAD, OpClass.STORE, OpClass.RMW):
+            assert FenceKind.FULL.orders_before(cls)
+            assert FenceKind.FULL.orders_after(cls)
+
+    def test_full_fence_ignores_non_memory(self):
+        assert not FenceKind.FULL.orders_before(OpClass.COMPUTE)
+        assert not FenceKind.FULL.orders_after(OpClass.BRANCH)
+
+    def test_store_load_fence(self):
+        assert FenceKind.STORE_LOAD.orders_before(OpClass.STORE)
+        assert not FenceKind.STORE_LOAD.orders_before(OpClass.LOAD)
+        assert FenceKind.STORE_LOAD.orders_after(OpClass.LOAD)
+        assert not FenceKind.STORE_LOAD.orders_after(OpClass.STORE)
+
+    def test_load_load_fence(self):
+        assert FenceKind.LOAD_LOAD.orders_before(OpClass.LOAD)
+        assert FenceKind.LOAD_LOAD.orders_after(OpClass.LOAD)
+        assert not FenceKind.LOAD_LOAD.orders_before(OpClass.STORE)
+        assert not FenceKind.LOAD_LOAD.orders_after(OpClass.STORE)
+
+    def test_rmw_matches_both_sides(self):
+        assert FenceKind.STORE_STORE.orders_before(OpClass.RMW)
+        assert FenceKind.LOAD_LOAD.orders_after(OpClass.RMW)
+
+
+class TestAlu:
+    @pytest.mark.parametrize(
+        "op,args,expected",
+        [
+            ("mov", (5,), 5),
+            ("add", (2, 3), 5),
+            ("sub", (5, 3), 2),
+            ("mul", (4, 3), 12),
+            ("xor", (5, 3), 6),
+            ("and", (6, 3), 2),
+            ("or", (4, 1), 5),
+            ("eq", (2, 2), 1),
+            ("eq", (2, 3), 0),
+            ("ne", (2, 3), 1),
+            ("lt", (1, 2), 1),
+            ("le", (2, 2), 1),
+            ("gt", (3, 2), 1),
+            ("ge", (1, 2), 0),
+            ("not", (0,), 1),
+            ("not", (7,), 0),
+        ],
+    )
+    def test_operations(self, op, args, expected):
+        assert alu_eval(op, args) == expected
+
+    def test_eq_works_on_location_names(self):
+        assert alu_eval("eq", ("x", "x")) == 1
+        assert alu_eval("eq", ("x", "y")) == 0
+
+    def test_arithmetic_on_locations_rejected(self):
+        with pytest.raises(ExecutionError):
+            alu_eval("add", ("x", 1))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProgramError):
+            alu_eval("frobnicate", (1, 2))
+
+
+class TestInstructionProtocol:
+    def test_compute_sources_and_dest(self):
+        instr = Compute(Reg("r3"), "add", (Reg("r1"), Const(2)))
+        assert instr.sources() == (Reg("r1"),)
+        assert instr.dest() == Reg("r3")
+        assert instr.addr_operand() is None
+
+    def test_compute_arity_checked(self):
+        with pytest.raises(ProgramError):
+            Compute(Reg("r1"), "add", (Const(1),))
+        with pytest.raises(ProgramError):
+            Compute(Reg("r1"), "mov", (Const(1), Const(2)))
+
+    def test_load_protocol(self):
+        instr = Load(Reg("r1"), Const("x"))
+        assert instr.sources() == ()
+        assert instr.dest() == Reg("r1")
+        assert instr.addr_operand() == Const("x")
+
+    def test_register_indirect_load(self):
+        instr = Load(Reg("r1"), Reg("r6"))
+        assert instr.sources() == (Reg("r6"),)
+
+    def test_store_protocol(self):
+        instr = Store(Const("x"), Reg("r1"))
+        assert instr.sources() == (Reg("r1"),)
+        assert instr.dest() is None
+        assert instr.addr_operand() == Const("x")
+
+    def test_branch_taken_logic(self):
+        bnez = Branch("loop", Reg("r1"), negate=False)
+        beqz = Branch("loop", Reg("r1"), negate=True)
+        jmp = Branch("loop", None)
+        assert bnez.taken(1) and not bnez.taken(0)
+        assert beqz.taken(0) and not beqz.taken(1)
+        assert jmp.taken(0) and jmp.taken(1)
+
+    def test_fence_has_no_sources(self):
+        assert Fence().sources() == ()
+        assert Fence(FenceKind.STORE_LOAD).kind is FenceKind.STORE_LOAD
+
+
+class TestRmw:
+    def test_exchange_stores_operand(self):
+        instr = Rmw(Reg("r1"), Const("x"), RmwKind.EXCHANGE, (Const(9),))
+        assert instr.stored_value(3, (9,)) == 9
+
+    def test_cas_success_and_failure(self):
+        instr = Rmw(Reg("r1"), Const("l"), RmwKind.CAS, (Const(0), Const(1)))
+        assert instr.stored_value(0, (0, 1)) == 1
+        assert instr.stored_value(5, (0, 1)) is None
+
+    def test_fetch_add(self):
+        instr = Rmw(Reg("r1"), Const("c"), RmwKind.FETCH_ADD, (Const(2),))
+        assert instr.stored_value(3, (2,)) == 5
+
+    def test_fetch_add_requires_int(self):
+        instr = Rmw(Reg("r1"), Const("c"), RmwKind.FETCH_ADD, (Const(2),))
+        with pytest.raises(ExecutionError):
+            instr.stored_value("x", (2,))
+
+    def test_arity_validated(self):
+        with pytest.raises(ProgramError):
+            Rmw(Reg("r1"), Const("l"), RmwKind.CAS, (Const(0),))
+        with pytest.raises(ProgramError):
+            Rmw(Reg("r1"), Const("l"), RmwKind.EXCHANGE, (Const(0), Const(1)))
+
+    def test_sources_include_address_register(self):
+        instr = Rmw(Reg("r1"), Reg("r6"), RmwKind.EXCHANGE, (Reg("r2"),))
+        assert set(instr.sources()) == {Reg("r6"), Reg("r2")}

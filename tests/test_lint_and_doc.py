@@ -1,0 +1,116 @@
+"""Tests for the program linter and the model explainer."""
+
+import pytest
+
+from repro.cli import main
+from repro.isa.dsl import ProgramBuilder
+from repro.isa.lint import LintLevel, lint_program
+from repro.litmus.library import all_tests, get_test
+from repro.models.doc import model_card
+
+
+def _messages(findings):
+    return [finding.message for finding in findings]
+
+
+class TestLinter:
+    def test_clean_program(self):
+        assert lint_program(get_test("SB").program) == []
+
+    def test_read_before_write(self):
+        builder = ProgramBuilder("rbw")
+        builder.thread("T").store("x", "r9")
+        findings = lint_program(builder.build())
+        assert any("read before any write" in message for message in _messages(findings))
+        assert findings[0].level is LintLevel.WARNING
+
+    def test_double_write_info(self):
+        builder = ProgramBuilder("dw")
+        thread = builder.thread("T")
+        thread.load("r1", "x")
+        thread.load("r1", "y")
+        findings = lint_program(builder.build())
+        assert any("written 2 times" in message for message in _messages(findings))
+
+    def test_dead_label(self):
+        builder = ProgramBuilder("dead")
+        thread = builder.thread("T")
+        thread.label("unused")
+        thread.store("x", 1)
+        findings = lint_program(builder.build())
+        assert any("never branched to" in message for message in _messages(findings))
+
+    def test_memoryless_thread(self):
+        builder = ProgramBuilder("nomem")
+        builder.thread("T").mov("r1", 5)
+        findings = lint_program(builder.build())
+        assert any("no memory operations" in message for message in _messages(findings))
+
+    def test_trailing_fence(self):
+        builder = ProgramBuilder("tf")
+        thread = builder.thread("T")
+        thread.store("x", 1)
+        thread.fence()
+        findings = lint_program(builder.build())
+        assert any("trailing fence" in message for message in _messages(findings))
+
+    def test_write_only_location(self):
+        builder = ProgramBuilder("wo")
+        builder.thread("T").store("x", 1)
+        findings = lint_program(builder.build())
+        assert any("written but never read" in message for message in _messages(findings))
+
+    def test_unused_initial_value(self):
+        builder = ProgramBuilder("unused-init")
+        builder.init("z", 9)
+        builder.thread("T").load("r1", "x")
+        findings = lint_program(builder.build())
+        assert any("never used" in message for message in _messages(findings))
+
+    def test_library_tests_have_no_warnings(self):
+        """Every library test should be warning-clean (infos are fine)."""
+        for test in all_tests():
+            warnings = [
+                finding
+                for finding in lint_program(test.program)
+                if finding.level is LintLevel.WARNING
+            ]
+            assert warnings == [], (test.name, [str(w) for w in warnings])
+
+    def test_cli_lint(self, capsys):
+        assert main(["lint", "SB"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+
+class TestModelCards:
+    def test_tso_signature(self):
+        card = model_card("tso")
+        signature = dict(card.signature)
+        assert signature == {
+            "SB": True,
+            "MP": False,
+            "LB": False,
+            "CoRR": False,
+            "2+2W": False,
+            "IRIW": False,
+        }
+        assert card.store_load_bypass
+
+    def test_weak_signature(self):
+        signature = dict(model_card("weak").signature)
+        assert all(signature.values())  # weak exhibits every relaxation
+
+    def test_sc_signature(self):
+        signature = dict(model_card("sc").signature)
+        assert not any(signature.values())
+
+    def test_render_mentions_table_and_flags(self):
+        text = model_card("weak-spec").render()
+        assert "x != y" in text
+        assert "speculation" in text
+
+    def test_cli_explain(self, capsys):
+        assert main(["models", "--explain", "pso"]) == 0
+        out = capsys.readouterr().out
+        assert "litmus signature" in out
+        assert "2+2W   Yes" in out

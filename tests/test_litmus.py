@@ -1,0 +1,94 @@
+"""Integration tests: the litmus library, runner, and matrix."""
+
+import pytest
+
+from repro.errors import ConditionError, ReproError
+from repro.litmus.library import all_tests, get_test
+from repro.litmus.library import test_names as litmus_test_names
+from repro.litmus.runner import format_matrix, run_litmus, run_matrix
+from repro.litmus.test import litmus_from_source
+
+MODELS = ("sc", "tso", "pso", "weak", "weak-corr")
+
+
+class TestLibraryShape:
+    def test_has_classic_tests(self):
+        names = litmus_test_names()
+        for expected in ("SB", "MP", "LB", "IRIW", "WRC", "2+2W", "CoRR", "dekker"):
+            assert expected in names
+
+    def test_every_test_has_expectations_for_all_models(self):
+        for test in all_tests():
+            for model in MODELS:
+                assert test.expectation(model) is not None, (test.name, model)
+
+    def test_get_test_unknown(self):
+        with pytest.raises(ReproError):
+            get_test("NOPE")
+
+    def test_descriptions_present(self):
+        assert all(test.description for test in all_tests())
+
+
+class TestRunner:
+    def test_sb_verdicts(self):
+        test = get_test("SB")
+        sc_verdict = run_litmus(test, "sc")
+        weak_verdict = run_litmus(test, "weak")
+        assert not sc_verdict.holds and sc_verdict.matches_expectation
+        assert weak_verdict.holds and weak_verdict.matches_expectation
+        assert weak_verdict.executions == 4
+        assert weak_verdict.satisfied_pairs == 1
+
+    def test_forall_condition(self):
+        verdict = run_litmus(get_test("INC+INC"), "weak")
+        assert verdict.holds
+        assert verdict.satisfied_pairs == verdict.total_pairs
+
+    def test_memory_condition(self):
+        verdict = run_litmus(get_test("2+2W"), "pso")
+        assert verdict.holds  # [x]=1 /\ [y]=1 realizable under PSO
+
+    def test_summary_text(self):
+        verdict = run_litmus(get_test("SB"), "sc")
+        assert "SB" in verdict.summary() and "ok" in verdict.summary()
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_full_matrix_matches_expectations(model_name):
+    """Every litmus verdict under every model matches the literature."""
+    for test in all_tests():
+        verdict = run_litmus(test, model_name)
+        assert verdict.matches_expectation, (
+            f"{test.name} under {model_name}: expected {verdict.expected}, "
+            f"got {verdict.holds} ({verdict.satisfied_pairs}/{verdict.total_pairs})"
+        )
+
+
+class TestMatrixFormatting:
+    def test_format_matrix(self):
+        verdicts = run_matrix([get_test("SB"), get_test("MP")], ("sc", "weak"))
+        table = format_matrix(verdicts)
+        assert "SB" in table and "MP" in table
+        assert "sc" in table and "weak" in table
+        assert "!" not in table  # no expectation mismatches
+
+
+class TestLitmusFromSource:
+    def test_condition_required(self):
+        with pytest.raises(ConditionError):
+            litmus_from_source("test T\nthread P0\n  S x, 1\n")
+
+    def test_full_round_trip(self):
+        test = litmus_from_source(
+            """
+            test tiny
+            thread P0
+                S x, 1
+                r1 = L x
+            exists (P0:r1=1)
+            """,
+            expected={"sc": True},
+        )
+        verdict = run_litmus(test, "sc")
+        assert verdict.holds and verdict.matches_expectation

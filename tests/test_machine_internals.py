@@ -1,0 +1,86 @@
+"""White-box tests for the operational machines' internals."""
+
+import pytest
+
+from repro.errors import EnumerationError
+from repro.isa.dsl import ProgramBuilder
+from repro.operational.dataflow import run_dataflow
+from repro.operational.sc import _initial_memory, _read, _write, run_sc
+from repro.operational.storebuffer import _drain_choices, _forward, run_store_buffer
+
+from tests.conftest import build_sb
+
+
+class TestMemorySnapshots:
+    def test_initial_memory_sorted(self, sb_program):
+        memory = _initial_memory(sb_program)
+        assert memory == (("x", 0), ("y", 0))
+
+    def test_read_write_round_trip(self, sb_program):
+        memory = _initial_memory(sb_program)
+        updated = _write(memory, "x", 7)
+        assert _read(updated, "x") == 7
+        assert _read(updated, "y") == 0
+        assert _read(memory, "x") == 0  # persistence
+
+    def test_read_unknown_location(self, sb_program):
+        with pytest.raises(EnumerationError):
+            _read(_initial_memory(sb_program), "zzz")
+
+
+class TestBufferInternals:
+    def test_forward_prefers_newest(self):
+        buffer = (("x", 1), ("y", 5), ("x", 2))
+        assert _forward(buffer, "x") == (2,)
+        assert _forward(buffer, "y") == (5,)
+        assert _forward(buffer, "z") is None
+
+    def test_fifo_drain_choices(self):
+        buffer = (("x", 1), ("y", 5), ("x", 2))
+        assert _drain_choices(buffer, fifo=True) == [0]
+
+    def test_per_address_drain_choices(self):
+        buffer = (("x", 1), ("y", 5), ("x", 2))
+        # first entry per address: x at 0, y at 1 — never the second x
+        assert _drain_choices(buffer, fifo=False) == [0, 1]
+
+    def test_empty_buffer(self):
+        assert _drain_choices((), fifo=True) == []
+        assert _drain_choices((), fifo=False) == []
+
+
+class TestStateLimits:
+    def test_sc_state_limit(self, sb_program):
+        with pytest.raises(EnumerationError):
+            run_sc(sb_program, max_states=1)
+
+    def test_buffer_state_limit(self, sb_program):
+        with pytest.raises(EnumerationError):
+            run_store_buffer(sb_program, fifo=True, max_states=1)
+
+    def test_dataflow_state_limit(self, sb_program):
+        with pytest.raises(EnumerationError):
+            run_dataflow(sb_program, "weak", max_states=1)
+
+
+class TestDataflowStateCounts:
+    def test_explored_state_accounting(self, sb_program):
+        result = run_dataflow(sb_program, "weak")
+        assert result.states_explored > result.terminal_states > 0
+
+    def test_terminal_states_cover_outcomes(self):
+        builder = ProgramBuilder("tiny")
+        builder.thread("T").store("x", 1)
+        result = run_dataflow(builder.build(), "weak")
+        assert result.terminal_states == 1
+        assert len(result.outcomes) == 1
+
+    def test_sc_table_on_dataflow_matches_interleaver_states(self, sb_program):
+        """Not just outcomes: under SC, both machines consider the full
+        interleaving space (state counts need not match, but outcomes and
+        terminal reachability must)."""
+        dataflow = run_dataflow(sb_program, "sc")
+        interleaved = run_sc(sb_program)
+        assert dataflow.outcomes == interleaved.outcomes
+        assert dataflow.terminal_states >= 1
+        assert interleaved.terminal_states >= 1

@@ -1,0 +1,89 @@
+"""Tests for the MESI protocol variant."""
+
+import pytest
+
+from repro.errors import CoherenceError
+from repro.coherence import run_coherent, verify_run
+from repro.coherence.mesi import MesiController
+from repro.coherence.protocol import LineState
+from repro.isa.dsl import ProgramBuilder
+from repro.operational.sc import run_sc
+
+from tests.conftest import build_mp, build_sb
+
+
+def controller(locations=("x",), caches=2):
+    init_nodes = {loc: i for i, loc in enumerate(locations)}
+    return MesiController(caches, {loc: 0 for loc in locations}, init_nodes)
+
+
+class TestExclusiveState:
+    def test_lone_read_installs_exclusive(self):
+        ctl = controller()
+        ctl.read(0, "x", nid=10)
+        assert ctl.is_exclusive(0, "x")
+
+    def test_second_reader_degrades_exclusive(self):
+        ctl = controller()
+        ctl.read(0, "x", nid=10)
+        ctl.read(1, "x", nid=11)
+        assert not ctl.is_exclusive(0, "x")
+        assert ctl.state(0, "x") is LineState.SHARED
+        assert ctl.state(1, "x") is LineState.SHARED
+
+    def test_silent_upgrade_costs_no_transaction(self):
+        ctl = controller()
+        ctl.read(0, "x", nid=10)
+        before = ctl.transactions
+        ctl.write(0, "x", 5, nid=11)
+        assert ctl.transactions == before
+        assert ctl.silent_upgrades == 1
+        assert ctl.state(0, "x") is LineState.MODIFIED
+
+    def test_write_after_shared_costs_a_transaction(self):
+        ctl = controller()
+        ctl.read(0, "x", nid=10)
+        ctl.read(1, "x", nid=11)
+        before = ctl.transactions
+        ctl.write(0, "x", 5, nid=12)
+        assert ctl.transactions == before + 1
+        assert ctl.silent_upgrades == 0
+
+    def test_read_from_dirty_owner_downgrades(self):
+        ctl = controller()
+        ctl.read(0, "x", nid=10)
+        ctl.write(0, "x", 5, nid=11)
+        value, source, _ = ctl.read(1, "x", nid=12)
+        assert value == 5 and source == 11
+        assert ctl.state(0, "x") is LineState.SHARED
+
+
+class TestMesiMachine:
+    @pytest.mark.parametrize("name", ["sb", "mp"])
+    def test_conformance(self, name):
+        program = build_sb() if name == "sb" else build_mp()
+        sc_outcomes = run_sc(program).outcomes
+        for seed in range(15):
+            run = run_coherent(program, seed=seed, protocol="mesi")
+            assert verify_run(run, sc_outcomes=sc_outcomes).conforms
+
+    def test_never_more_transactions_than_msi(self):
+        program = build_mp()
+        for seed in range(15):
+            msi = run_coherent(program, seed=seed, protocol="msi")
+            mesi = run_coherent(program, seed=seed, protocol="mesi")
+            assert mesi.transactions <= msi.transactions
+            assert mesi.registers == msi.registers  # same schedule, same result
+
+    def test_private_workload_saves(self):
+        builder = ProgramBuilder("private")
+        thread = builder.thread("T")
+        thread.load("r1", "p")
+        thread.store("p", 7)
+        msi = run_coherent(builder.build(), seed=0, protocol="msi")
+        mesi = run_coherent(builder.build(), seed=0, protocol="mesi")
+        assert mesi.transactions < msi.transactions
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(CoherenceError):
+            run_coherent(build_sb(), seed=0, protocol="moesi")

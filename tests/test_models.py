@@ -1,0 +1,159 @@
+"""Unit tests for memory-model definitions and the table machinery."""
+
+import pytest
+
+from repro.errors import ProgramError, ReproError
+from repro.isa.instructions import (
+    Compute,
+    Fence,
+    FenceKind,
+    Load,
+    OpClass,
+    Rmw,
+    RmwKind,
+    Store,
+)
+from repro.isa.operands import Const, Reg
+from repro.models import (
+    NAIVE_TSO,
+    PSO,
+    SC,
+    TSO,
+    WEAK,
+    WEAK_CORR,
+    WEAK_SPEC,
+    MemoryModel,
+    OrderRequirement,
+    ReorderingTable,
+    available_models,
+    get_model,
+    register_model,
+    speculative,
+)
+
+LOAD = Load(Reg("r1"), Const("x"))
+STORE = Store(Const("x"), Const(1))
+STORE_OTHER = Store(Const("y"), Const(1))
+FENCE = Fence()
+COMPUTE = Compute(Reg("r1"), "mov", (Const(1),))
+RMW = Rmw(Reg("r1"), Const("x"), RmwKind.EXCHANGE, (Const(1),))
+
+
+class TestReorderingTable:
+    def test_default_is_none(self):
+        table = ReorderingTable({})
+        assert table.lookup(OpClass.LOAD, OpClass.LOAD) is OrderRequirement.NONE
+
+    def test_rmw_expands_to_strongest(self):
+        table = ReorderingTable(
+            {
+                (OpClass.LOAD, OpClass.LOAD): OrderRequirement.ALWAYS,
+                (OpClass.STORE, OpClass.LOAD): OrderRequirement.NONE,
+            }
+        )
+        assert table.lookup(OpClass.RMW, OpClass.LOAD) is OrderRequirement.ALWAYS
+
+    def test_rmw_and_fence_keys_rejected(self):
+        with pytest.raises(ProgramError):
+            ReorderingTable({(OpClass.RMW, OpClass.LOAD): OrderRequirement.ALWAYS})
+        with pytest.raises(ProgramError):
+            ReorderingTable({(OpClass.FENCE, OpClass.LOAD): OrderRequirement.ALWAYS})
+
+
+class TestWeakModel:
+    def test_three_same_address_entries(self):
+        assert WEAK.requirement(LOAD, STORE) is OrderRequirement.SAME_ADDRESS
+        assert WEAK.requirement(STORE, LOAD) is OrderRequirement.SAME_ADDRESS
+        assert WEAK.requirement(STORE, STORE) is OrderRequirement.SAME_ADDRESS
+
+    def test_load_load_free(self):
+        assert WEAK.requirement(LOAD, LOAD) is OrderRequirement.NONE
+
+    def test_fence_orders_memory_both_ways(self):
+        assert WEAK.requirement(LOAD, FENCE) is OrderRequirement.ALWAYS
+        assert WEAK.requirement(FENCE, STORE) is OrderRequirement.ALWAYS
+        assert WEAK.requirement(FENCE, FENCE) is OrderRequirement.ALWAYS
+
+    def test_fence_ignores_compute(self):
+        assert WEAK.requirement(COMPUTE, FENCE) is OrderRequirement.NONE
+        assert WEAK.requirement(FENCE, COMPUTE) is OrderRequirement.NONE
+
+    def test_fine_grained_fences(self):
+        st_ld = Fence(FenceKind.STORE_LOAD)
+        assert WEAK.requirement(STORE, st_ld) is OrderRequirement.ALWAYS
+        assert WEAK.requirement(LOAD, st_ld) is OrderRequirement.NONE
+        assert WEAK.requirement(st_ld, LOAD) is OrderRequirement.ALWAYS
+        assert WEAK.requirement(st_ld, STORE) is OrderRequirement.NONE
+
+    def test_rmw_inherits_store_side(self):
+        assert WEAK.requirement(RMW, STORE) is OrderRequirement.SAME_ADDRESS
+        assert WEAK.requirement(RMW, LOAD) is OrderRequirement.SAME_ADDRESS
+
+
+class TestScModel:
+    def test_all_memory_pairs_always(self):
+        for first in (LOAD, STORE, RMW):
+            for second in (LOAD, STORE, RMW):
+                assert SC.requirement(first, second) is OrderRequirement.ALWAYS
+
+
+class TestTsoModel:
+    def test_store_load_exempt(self):
+        assert TSO.requirement(STORE, LOAD) is OrderRequirement.NONE
+        assert TSO.store_load_bypass
+
+    def test_other_pairs_kept(self):
+        assert TSO.requirement(LOAD, LOAD) is OrderRequirement.ALWAYS
+        assert TSO.requirement(LOAD, STORE) is OrderRequirement.ALWAYS
+        assert TSO.requirement(STORE, STORE) is OrderRequirement.ALWAYS
+
+    def test_rmw_never_exempt(self):
+        assert TSO.requirement(RMW, LOAD) is OrderRequirement.ALWAYS
+        assert TSO.requirement(STORE, RMW) is OrderRequirement.ALWAYS
+
+    def test_naive_tso_has_no_bypass(self):
+        assert not NAIVE_TSO.store_load_bypass
+        assert NAIVE_TSO.requirement(STORE, LOAD) is OrderRequirement.NONE
+
+
+class TestPsoModel:
+    def test_store_store_same_address_only(self):
+        assert PSO.requirement(STORE, STORE_OTHER) is OrderRequirement.SAME_ADDRESS
+        assert PSO.requirement(LOAD, STORE) is OrderRequirement.ALWAYS
+        assert PSO.store_load_bypass
+
+
+class TestRegistry:
+    def test_known_models(self):
+        names = available_models()
+        for expected in ("sc", "tso", "naive-tso", "pso", "weak", "weak-spec", "weak-corr"):
+            assert expected in names
+
+    def test_get_model(self):
+        assert get_model("weak") is WEAK
+        with pytest.raises(ReproError):
+            get_model("rvwmo")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ReproError):
+            register_model(WEAK)
+
+    def test_register_custom_model(self):
+        custom = MemoryModel("test-custom", ReorderingTable({}))
+        register_model(custom)
+        assert get_model("test-custom") is custom
+
+
+class TestSpeculativeVariant:
+    def test_speculative_helper(self):
+        spec = speculative(WEAK)
+        assert spec.speculative_aliasing
+        assert spec.name == "weak-spec"
+        assert speculative(WEAK_SPEC) is WEAK_SPEC
+
+    def test_weak_corr_strengthens_load_load(self):
+        assert WEAK_CORR.requirement(LOAD, LOAD) is OrderRequirement.SAME_ADDRESS
+
+    def test_str_mentions_flags(self):
+        assert "bypass" in str(TSO)
+        assert "speculative" in str(WEAK_SPEC)

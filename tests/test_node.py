@@ -1,0 +1,84 @@
+"""Unit tests for dynamic nodes and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.core.node import INIT_TID, Node
+from repro.isa.instructions import Load, OpClass, Store
+from repro.isa.operands import Const, Reg
+
+
+class TestNode:
+    def test_init_node_properties(self):
+        node = Node(
+            nid=0,
+            tid=INIT_TID,
+            index=0,
+            instruction=None,
+            op_class=OpClass.STORE,
+            executed=True,
+            writes=True,
+            addr="x",
+            stored=0,
+        )
+        assert node.is_init
+        assert node.is_visible_store
+        assert "init" in node.describe()
+
+    def test_memory_classification(self):
+        load = Node(0, 0, 0, Load(Reg("r1"), Const("x")), OpClass.LOAD)
+        store = Node(1, 0, 1, Store(Const("x"), Const(1)), OpClass.STORE)
+        rmw = Node(2, 0, 2, None, OpClass.RMW)
+        assert load.reads_memory and not load.writes_memory
+        assert store.writes_memory and not store.reads_memory
+        assert rmw.reads_memory and rmw.writes_memory
+
+    def test_visible_store_requires_execution_and_write(self):
+        store = Node(0, 0, 0, Store(Const("x"), Const(1)), OpClass.STORE)
+        assert not store.is_visible_store
+        store.executed = True
+        assert not store.is_visible_store  # writes flag not yet set
+        store.writes = True
+        assert store.is_visible_store
+
+    def test_clone_independent(self):
+        node = Node(0, 0, 0, Load(Reg("r1"), Const("x")), OpClass.LOAD)
+        clone = node.clone()
+        clone.executed = True
+        clone.value = 7
+        assert not node.executed and node.value is None
+
+    def test_describe_unresolved_marker(self):
+        node = Node(0, 0, 0, Load(Reg("r1"), Const("x")), OpClass.LOAD)
+        assert "[unresolved]" in node.describe()
+        node.executed = True
+        node.value = 3
+        assert "[unresolved]" not in node.describe()
+        assert "val=3" in node.describe()
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in (
+            "ProgramError",
+            "AssemblerError",
+            "ExecutionError",
+            "GraphError",
+            "CycleError",
+            "AtomicityViolation",
+            "SerializationError",
+            "EnumerationError",
+            "ConditionError",
+            "CoherenceError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_cycle_error_carries_endpoints(self):
+        error = errors.CycleError(3, 7)
+        assert error.source == 3 and error.target == 7
+        assert "3" in str(error) and "7" in str(error)
+
+    def test_assembler_error_line_numbers(self):
+        error = errors.AssemblerError("bad", line_number=12)
+        assert "line 12" in str(error)
+        assert errors.AssemblerError("bad").line_number is None

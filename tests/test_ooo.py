@@ -1,0 +1,96 @@
+"""Tests for the out-of-order core substrate."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.litmus.library import get_test
+from repro.models.registry import get_model
+from repro.ooo import OooMachine, run_ooo
+
+from tests.conftest import build_branchy, build_loop, build_single_thread
+from tests.test_properties import small_programs
+
+
+def _tso_outcomes(program):
+    return enumerate_behaviors(program, get_model("tso")).register_outcomes()
+
+
+class TestBasics:
+    def test_deterministic_per_seed(self):
+        program = get_test("SB").program
+        first = run_ooo(program, seed=11)
+        second = run_ooo(program, seed=11)
+        assert first.registers == second.registers
+        assert first.steps == second.steps
+
+    def test_single_thread_dataflow(self):
+        program = build_single_thread()
+        run = run_ooo(program, seed=0)
+        registers = dict(run.registers)
+        assert registers[("T", "r1")] == 5
+        assert registers[("T", "r2")] == 15
+        assert registers[("T", "r3")] == 15
+
+    def test_branchy_program(self):
+        outcomes = {run_ooo(build_branchy(), seed=seed).registers for seed in range(40)}
+        assert outcomes <= _tso_outcomes(build_branchy())
+
+    def test_loop_program(self):
+        outcomes = {run_ooo(build_loop(), seed=seed).registers for seed in range(40)}
+        assert outcomes <= _tso_outcomes(build_loop())
+
+
+class TestTsoConformance:
+    @pytest.mark.parametrize(
+        "test_name",
+        ["SB", "MP", "LB", "CoRR", "R", "INC+INC", "dekker-nofence", "lock-handoff"],
+    )
+    def test_outcomes_within_tso(self, test_name):
+        program = get_test(test_name).program
+        tso = _tso_outcomes(program)
+        for seed in range(80):
+            assert run_ooo(program, seed=seed).registers in tso
+
+    def test_sb_reaches_the_relaxed_outcome(self):
+        program = get_test("SB").program
+        relaxed = frozenset({(("P0", "r1"), 0), (("P1", "r2"), 0)})
+        outcomes = {run_ooo(program, seed=seed).registers for seed in range(120)}
+        assert relaxed in outcomes
+
+    def test_fences_respected(self):
+        program = get_test("SB+fences").program
+        relaxed = frozenset({(("P0", "r1"), 0), (("P1", "r2"), 0)})
+        for seed in range(80):
+            assert run_ooo(program, seed=seed).registers != relaxed
+
+    def test_replays_occur_somewhere(self):
+        total = sum(
+            run_ooo(get_test("CoRR").program, seed=seed).replays for seed in range(120)
+        )
+        assert total > 0
+
+    @given(small_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_programs_within_tso(self, program):
+        tso = _tso_outcomes(program)
+        for seed in range(25):
+            assert run_ooo(program, seed=seed).registers in tso
+
+
+class TestNaiveMachine:
+    def test_corr_leaks_without_replay(self):
+        program = get_test("CoRR").program
+        tso = _tso_outcomes(program)
+        leaked = [
+            seed
+            for seed in range(300)
+            if run_ooo(program, seed=seed, replay_enabled=False).registers not in tso
+        ]
+        assert leaked
+
+    def test_leaks_disappear_with_replay(self):
+        program = get_test("CoRR").program
+        tso = _tso_outcomes(program)
+        for seed in range(300):
+            assert run_ooo(program, seed=seed, replay_enabled=True).registers in tso

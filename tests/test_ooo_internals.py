@@ -1,0 +1,121 @@
+"""White-box tests for the out-of-order core's microarchitecture."""
+
+import pytest
+
+from repro.litmus.library import get_test
+from repro.ooo import OooMachine, Stage
+from repro.isa.dsl import ProgramBuilder
+
+
+def machine_for(program, seed=0, replay=True):
+    return OooMachine(program, seed=seed, replay_enabled=replay)
+
+
+class TestWindowMechanics:
+    def test_fetch_records_static_pc(self):
+        machine = machine_for(get_test("SB").program)
+        core = machine.cores[0]
+        core.fetch()
+        core.fetch()
+        assert [entry.fetch_pc for entry in core.window] == [0, 1]
+
+    def test_issue_requires_operands(self):
+        builder = ProgramBuilder("dep")
+        thread = builder.thread("T")
+        thread.load("r1", "x")
+        thread.store("y", "r1")
+        machine = machine_for(builder.build())
+        core = machine.cores[0]
+        core.fetch()
+        core.fetch()
+        # the dependent store is not issuable before the load
+        assert [entry.index for entry in core.issuable()] == [0]
+        core.issue(core.window[0])
+        assert [entry.index for entry in core.issuable()] == [1]
+
+    def test_fetch_blocks_at_branch(self):
+        machine = machine_for(get_test("dekker-nofence").program)
+        core = machine.cores[0]
+        while core.can_fetch():
+            core.fetch()
+        # S fa; L fb; bnez — fetch must stop at the unresolved branch
+        assert len(core.window) == 3
+        assert core.fetch_blocked_on is core.window[2]
+
+    def test_store_forwarding_prefers_newest_window_store(self):
+        builder = ProgramBuilder("fwd")
+        thread = builder.thread("T")
+        thread.store("x", 1)
+        thread.store("x", 2)
+        thread.load("r1", "x")
+        machine = machine_for(builder.build())
+        core = machine.cores[0]
+        for _ in range(3):
+            core.fetch()
+        core.issue(core.window[0])
+        core.issue(core.window[1])
+        core.issue(core.window[2])
+        assert core.window[2].value == 2
+
+    def test_retired_store_does_not_forward(self):
+        """Once a store drains, a later load must read memory (which may
+        hold a newer remote value)."""
+        builder = ProgramBuilder("drain")
+        p0 = builder.thread("T")
+        p0.store("x", 1)
+        p0.load("r1", "x")
+        builder.thread("U").store("x", 9)
+        machine = machine_for(builder.build())
+        core0, core1 = machine.cores
+        core0.fetch()
+        core0.fetch()
+        core0.issue(core0.window[0])  # S x,1 computes
+        core0.retire()  # store -> buffer
+        core0.drain()  # buffer -> memory (x=1)
+        # remote store lands
+        core1.fetch()
+        core1.issue(core1.window[0])
+        core1.retire()
+        core1.drain()  # x=9
+        core0.issue(core0.window[1])  # load issues now
+        assert core0.window[1].value == 9
+
+    def test_squash_rebuilds_register_map(self):
+        builder = ProgramBuilder("squash")
+        thread = builder.thread("T")
+        thread.load("r1", "x")
+        thread.add("r2", "r1", 1)
+        machine = machine_for(builder.build())
+        core = machine.cores[0]
+        core.fetch()
+        core.fetch()
+        load_entry = core.window[0]
+        core.issue(load_entry)
+        core.issue(core.window[1])
+        core._squash_after(load_entry)
+        assert len(core.window) == 1
+        assert core.pc == 1
+        assert core.regs == {"r1": load_entry}
+
+
+class TestReplayAccounting:
+    def test_replay_counter_and_stage(self):
+        program = get_test("CoRR").program
+        replays = 0
+        for seed in range(80):
+            run = machine_for(program, seed=seed).run()
+            replays += run.replays
+        assert replays > 0
+
+    def test_no_replay_flag_respected(self):
+        program = get_test("CoRR").program
+        for seed in range(40):
+            run = machine_for(program, seed=seed, replay=False).run()
+            assert run.replays == 0
+            assert not run.replay_enabled
+
+    def test_stages_terminal(self):
+        machine = machine_for(get_test("SB").program, seed=3)
+        machine.run()
+        for core in machine.cores:
+            assert all(entry.stage is Stage.RETIRED for entry in core.window)

@@ -1,0 +1,68 @@
+"""Unit tests for ISA operands."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.operands import Const, Reg, as_operand
+
+
+class TestReg:
+    def test_name_round_trip(self):
+        assert Reg("r1").name == "r1"
+        assert str(Reg("r1")) == "r1"
+
+    def test_equality_and_hash(self):
+        assert Reg("r1") == Reg("r1")
+        assert Reg("r1") != Reg("r2")
+        assert len({Reg("r1"), Reg("r1"), Reg("r2")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ProgramError):
+            Reg("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ProgramError):
+            Reg(3)  # type: ignore[arg-type]
+
+
+class TestConst:
+    def test_int_payload(self):
+        assert Const(7).value == 7
+        assert str(Const(7)) == "7"
+
+    def test_negative_int(self):
+        assert Const(-3).value == -3
+
+    def test_string_payload_is_location_name(self):
+        assert Const("x").value == "x"
+        assert str(Const("x")) == "'x'"
+
+    def test_bool_rejected(self):
+        with pytest.raises(ProgramError):
+            Const(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(ProgramError):
+            Const(1.5)  # type: ignore[arg-type]
+
+    def test_equality(self):
+        assert Const(1) == Const(1)
+        assert Const(1) != Const("1")
+
+
+class TestAsOperand:
+    def test_passthrough(self):
+        reg = Reg("r1")
+        const = Const(4)
+        assert as_operand(reg) is reg
+        assert as_operand(const) is const
+
+    def test_int_coerced_to_const(self):
+        assert as_operand(9) == Const(9)
+
+    def test_string_coerced_to_location_const(self):
+        assert as_operand("x") == Const("x")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ProgramError):
+            as_operand(object())  # type: ignore[arg-type]

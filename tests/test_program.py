@@ -1,0 +1,103 @@
+"""Unit tests for programs and threads."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.dsl import ProgramBuilder
+from repro.isa.instructions import Branch, Load, Store
+from repro.isa.operands import Const, Reg
+from repro.isa.program import Program, Thread
+
+
+class TestThread:
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ProgramError):
+            Thread("T", (Store(Const("x"), Const(1)),), {"bad": 5})
+
+    def test_label_at_end_allowed(self):
+        thread = Thread("T", (Store(Const("x"), Const(1)),), {"end": 1})
+        assert thread.labels["end"] == 1
+
+    def test_branch_to_unknown_label_rejected(self):
+        with pytest.raises(ProgramError):
+            Thread("T", (Branch("nowhere", Reg("r1")),), {})
+
+    def test_target_of(self):
+        branch = Branch("end", Reg("r1"))
+        thread = Thread("T", (branch, Store(Const("x"), Const(1))), {"end": 2})
+        assert thread.target_of(branch) == 2
+
+    def test_registers_in_first_use_order(self):
+        thread = Thread(
+            "T",
+            (
+                Load(Reg("r2"), Const("x")),
+                Store(Const("y"), Reg("r2")),
+                Load(Reg("r1"), Const("y")),
+            ),
+        )
+        assert thread.registers() == (Reg("r2"), Reg("r1"))
+
+    def test_static_locations_include_pointer_constants(self):
+        thread = Thread(
+            "T",
+            (
+                Store(Const("x"), Const("w")),  # stores pointer to w
+                Load(Reg("r1"), Const("x")),
+            ),
+        )
+        assert thread.static_locations() == {"x", "w"}
+
+
+class TestProgram:
+    def test_requires_a_thread(self):
+        with pytest.raises(ProgramError):
+            Program(())
+
+    def test_duplicate_thread_names_rejected(self):
+        t = Thread("P", (Store(Const("x"), Const(1)),))
+        with pytest.raises(ProgramError):
+            Program((t, t))
+
+    def test_thread_index(self, sb_program):
+        assert sb_program.thread_index("P0") == 0
+        assert sb_program.thread_index("P1") == 1
+        with pytest.raises(ProgramError):
+            sb_program.thread_index("nope")
+
+    def test_locations_sorted_and_complete(self, sb_program):
+        assert sb_program.locations() == ("x", "y")
+
+    def test_locations_include_initial_memory_pointers(self):
+        builder = ProgramBuilder("p")
+        builder.thread("T").load("r1", "x")
+        builder.init("x", "w")
+        program = builder.build()
+        assert program.locations() == ("w", "x")
+
+    def test_initial_value_defaults_to_zero(self, sb_program):
+        assert sb_program.initial_value("x") == 0
+
+    def test_instruction_count(self, sb_program):
+        assert sb_program.instruction_count() == 4
+
+    def test_has_branches(self, sb_program):
+        assert not sb_program.has_branches()
+        builder = ProgramBuilder("b")
+        t = builder.thread("T")
+        t.load("r1", "x")
+        t.bnez("r1", "end")
+        t.label("end")
+        assert builder.build().has_branches()
+
+    def test_str_rendering_mentions_threads_and_labels(self):
+        builder = ProgramBuilder("render")
+        t = builder.thread("T")
+        t.load("r1", "x")
+        t.beqz("r1", "skip")
+        t.store("y", 1)
+        t.label("skip")
+        text = str(builder.build())
+        assert "thread T" in text
+        assert "skip:" in text
+        assert "beqz r1, skip" in text

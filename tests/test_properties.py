@@ -1,0 +1,118 @@
+"""Property-based tests over random small programs (hypothesis).
+
+These are the framework's global invariants:
+
+1. axiomatic SC ≡ the interleaving machine,
+2. axiomatic TSO ≡ the FIFO store-buffer machine,
+3. every enumerated execution of a store-atomic model is serializable
+   and passes the declarative Store Atomicity check,
+4. model strength: SC ⊆ TSO ⊆ PSO ⊆ WEAK on outcome sets,
+5. enumeration is deterministic (same program → same behavior set).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atomicity import check_store_atomicity
+from repro.core.enumerate import enumerate_behaviors
+from repro.core.serialization import find_serialization
+from repro.isa.dsl import ProgramBuilder
+from repro.models.registry import get_model
+from repro.operational.sc import run_sc
+from repro.operational.storebuffer import run_pso, run_tso
+
+_LOCATIONS = ("x", "y")
+
+
+@st.composite
+def small_programs(draw):
+    """Random 2-thread programs over locations x/y with stores, loads,
+    fences and the occasional atomic exchange."""
+    program = ProgramBuilder("random")
+    register = 0
+    for tid in range(2):
+        thread = program.thread(f"P{tid}")
+        size = draw(st.integers(min_value=1, max_value=3))
+        for _ in range(size):
+            kind = draw(
+                st.sampled_from(("store", "store", "load", "load", "fence", "xchg"))
+            )
+            location = draw(st.sampled_from(_LOCATIONS))
+            if kind == "store":
+                thread.store(location, draw(st.integers(min_value=1, max_value=3)))
+            elif kind == "load":
+                register += 1
+                thread.load(f"r{register}", location)
+            elif kind == "xchg":
+                register += 1
+                thread.xchg(f"r{register}", location, draw(st.integers(min_value=4, max_value=6)))
+            else:
+                thread.fence()
+    return program.build()
+
+
+@given(small_programs())
+@settings(max_examples=60, deadline=None)
+def test_axiomatic_sc_equals_interleaving(program):
+    axiomatic = enumerate_behaviors(program, get_model("sc")).register_outcomes()
+    assert axiomatic == run_sc(program).outcomes
+
+
+@given(small_programs())
+@settings(max_examples=60, deadline=None)
+def test_axiomatic_tso_equals_store_buffer(program):
+    axiomatic = enumerate_behaviors(program, get_model("tso")).register_outcomes()
+    assert axiomatic == run_tso(program).outcomes
+
+
+@given(small_programs())
+@settings(max_examples=30, deadline=None)
+def test_axiomatic_pso_equals_relaxed_buffer(program):
+    axiomatic = enumerate_behaviors(program, get_model("pso")).register_outcomes()
+    assert axiomatic == run_pso(program).outcomes
+
+
+@given(small_programs())
+@settings(max_examples=40, deadline=None)
+def test_weak_executions_store_atomic_and_serializable(program):
+    result = enumerate_behaviors(program, get_model("weak"))
+    assert result.executions
+    for execution in result.executions:
+        assert execution.completed()
+        assert check_store_atomicity(execution.graph) == []
+        assert find_serialization(execution) is not None
+
+
+@given(small_programs())
+@settings(max_examples=40, deadline=None)
+def test_model_strength_chain(program):
+    outcomes = {
+        name: enumerate_behaviors(program, get_model(name)).register_outcomes()
+        for name in ("sc", "tso", "pso", "weak")
+    }
+    assert outcomes["sc"] <= outcomes["tso"]
+    assert outcomes["tso"] <= outcomes["pso"]
+    assert outcomes["pso"] <= outcomes["weak"]
+
+
+@given(small_programs())
+@settings(max_examples=20, deadline=None)
+def test_enumeration_deterministic(program):
+    first = enumerate_behaviors(program, get_model("weak"))
+    second = enumerate_behaviors(program, get_model("weak"))
+    assert first.register_outcomes() == second.register_outcomes()
+    assert [e.loadstore_key() for e in first.executions] == [
+        e.loadstore_key() for e in second.executions
+    ]
+
+
+@given(small_programs())
+@settings(max_examples=30, deadline=None)
+def test_speculation_only_adds_behaviors(program):
+    """On pointer-free programs, aliasing speculation is inert: the
+    behavior sets must be *equal*, not merely included."""
+    plain = enumerate_behaviors(program, get_model("weak")).register_outcomes()
+    spec = enumerate_behaviors(program, get_model("weak-spec")).register_outcomes()
+    assert plain == spec

@@ -1,0 +1,162 @@
+"""Extended property suites: annotated and pointer programs.
+
+These push the cross-validation beyond the plain load/store fragment:
+
+* random programs with fences (all four fine-grained kinds) and
+  acquire/release annotations still satisfy axiomatic ≡ operational,
+* annotations and fences are *monotone*: they only remove behaviors,
+* under SC they are no-ops,
+* on random pointer programs, aliasing speculation only adds behaviors
+  (and equals non-speculative enumeration when no store is
+  register-indirect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.isa.dsl import ProgramBuilder
+from repro.isa.instructions import Fence, FenceKind, Load, Store
+from repro.isa.program import Program, Thread
+from repro.models.registry import get_model
+from repro.operational.sc import run_sc
+from repro.operational.storebuffer import run_pso, run_tso
+
+_LOCATIONS = ("x", "y")
+_FENCE_KINDS = tuple(FenceKind)
+
+
+@st.composite
+def annotated_programs(draw):
+    """2-thread programs with fences of every kind and rel/acq flags."""
+    program = ProgramBuilder("annotated")
+    register = 0
+    for tid in range(2):
+        thread = program.thread(f"P{tid}")
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            kind = draw(st.sampled_from(("store", "store", "load", "load", "fence")))
+            location = draw(st.sampled_from(_LOCATIONS))
+            if kind == "store":
+                thread.store(
+                    location,
+                    draw(st.integers(min_value=1, max_value=3)),
+                    release=draw(st.booleans()),
+                )
+            elif kind == "load":
+                register += 1
+                thread.load(f"r{register}", location, acquire=draw(st.booleans()))
+            else:
+                thread.fence(draw(st.sampled_from(_FENCE_KINDS)))
+    return program.build()
+
+
+def _strip_annotations(program: Program) -> Program:
+    """The same program with acquire/release flags removed and fences
+    deleted entirely."""
+    threads = []
+    for thread in program.threads:
+        code = []
+        for instruction in thread.code:
+            if isinstance(instruction, Fence):
+                continue
+            if isinstance(instruction, Load) and instruction.acquire:
+                instruction = replace(instruction, acquire=False)
+            elif isinstance(instruction, Store) and instruction.release:
+                instruction = replace(instruction, release=False)
+            code.append(instruction)
+        threads.append(Thread(thread.name, tuple(code), {}))
+    return Program(tuple(threads), dict(program.initial_memory), program.name)
+
+
+@given(annotated_programs())
+@settings(max_examples=40, deadline=None)
+def test_annotated_sc_equals_interleaving(program):
+    axiomatic = enumerate_behaviors(program, get_model("sc")).register_outcomes()
+    assert axiomatic == run_sc(program).outcomes
+
+
+@given(annotated_programs())
+@settings(max_examples=40, deadline=None)
+def test_annotated_tso_equals_store_buffer(program):
+    axiomatic = enumerate_behaviors(program, get_model("tso")).register_outcomes()
+    assert axiomatic == run_tso(program).outcomes
+
+
+@given(annotated_programs())
+@settings(max_examples=25, deadline=None)
+def test_annotated_pso_equals_relaxed_buffer(program):
+    axiomatic = enumerate_behaviors(program, get_model("pso")).register_outcomes()
+    assert axiomatic == run_pso(program).outcomes
+
+
+@given(annotated_programs())
+@settings(max_examples=25, deadline=None)
+def test_annotations_are_monotone(program):
+    """Fences and rel/acq flags can only REMOVE behaviors."""
+    stripped = _strip_annotations(program)
+    weak = get_model("weak")
+    annotated_outcomes = enumerate_behaviors(program, weak).register_outcomes()
+    stripped_outcomes = enumerate_behaviors(stripped, weak).register_outcomes()
+    assert annotated_outcomes <= stripped_outcomes
+
+
+@given(annotated_programs())
+@settings(max_examples=20, deadline=None)
+def test_annotations_noop_under_sc(program):
+    stripped = _strip_annotations(program)
+    sc = get_model("sc")
+    assert (
+        enumerate_behaviors(program, sc).register_outcomes()
+        == enumerate_behaviors(stripped, sc).register_outcomes()
+    )
+
+
+@st.composite
+def pointer_programs(draw):
+    """Programs where location p holds a pointer to x or y; one thread
+    dereferences it for a store, exercising the §5 aliasing machinery."""
+    program = ProgramBuilder("pointers")
+    program.init("p", draw(st.sampled_from(_LOCATIONS)))
+
+    writer = program.thread("W")
+    for _ in range(draw(st.integers(min_value=1, max_value=2))):
+        choice = draw(st.sampled_from(("data", "pointer")))
+        if choice == "data":
+            writer.store(
+                draw(st.sampled_from(_LOCATIONS)),
+                draw(st.integers(min_value=1, max_value=2)),
+            )
+        else:
+            writer.store("p", draw(st.sampled_from(_LOCATIONS)))
+
+    chaser = program.thread("C")
+    chaser.load("r1", "p")
+    chaser.store("r1", 7)  # store through the pointer: data-dependent alias
+    if draw(st.booleans()):
+        chaser.load("r2", draw(st.sampled_from(_LOCATIONS)))
+    return program.build()
+
+
+@given(pointer_programs())
+@settings(max_examples=30, deadline=None)
+def test_speculation_superset_on_pointer_programs(program):
+    plain = enumerate_behaviors(program, get_model("weak")).register_outcomes()
+    speculated = enumerate_behaviors(program, get_model("weak-spec")).register_outcomes()
+    assert plain <= speculated
+
+
+@given(pointer_programs())
+@settings(max_examples=20, deadline=None)
+def test_pointer_programs_store_atomic(program):
+    from repro.core.atomicity import check_store_atomicity
+    from repro.core.serialization import find_serialization
+
+    result = enumerate_behaviors(program, get_model("weak-spec"))
+    assert result.executions
+    for execution in result.executions:
+        assert check_store_atomicity(execution.graph) == []
+        assert find_serialization(execution) is not None

@@ -1,0 +1,60 @@
+"""Tests for the SC-robustness analysis and the new CLI subcommands."""
+
+import pytest
+
+from repro.analysis.compare import check_robustness
+from repro.cli import main
+from repro.litmus.library import get_test
+
+
+class TestRobustness:
+    def test_sb_not_robust_against_weak(self):
+        report = check_robustness(get_test("SB").program, "weak")
+        assert not report.robust
+        assert len(report.extra_outcomes) == 1
+
+    def test_fenced_sb_robust(self):
+        report = check_robustness(get_test("SB+fences").program, "weak")
+        assert report.robust
+        assert report.extra_outcomes == frozenset()
+
+    def test_mp_robust_against_tso_not_pso(self):
+        program = get_test("MP").program
+        assert check_robustness(program, "tso").robust
+        assert not check_robustness(program, "pso").robust
+
+    def test_ra_annotations_restore_mp_robustness(self):
+        assert check_robustness(get_test("MP+ra").program, "weak").robust
+
+    def test_sb_ra_still_not_robust(self):
+        assert not check_robustness(get_test("SB+ra").program, "weak").robust
+
+    def test_summary_text(self):
+        report = check_robustness(get_test("SB").program, "weak")
+        assert "NOT robust" in report.summary()
+        assert "P0:r1=0" in report.summary()
+
+
+class TestCliSubcommands:
+    def test_robust_exit_codes(self, capsys):
+        assert main(["robust", "SB", "-m", "weak"]) == 1
+        assert main(["robust", "SB+fences", "-m", "weak"]) == 0
+        out = capsys.readouterr().out
+        assert "NOT robust" in out and "is robust" in out
+
+    def test_fences_subcommand(self, capsys):
+        assert main(["fences", "MP", "-m", "pso"]) == 0
+        assert "P0@1" in capsys.readouterr().out
+
+    def test_fences_budget_failure(self, capsys):
+        assert main(["fences", "SB", "-m", "weak", "--max-fences", "1"]) == 1
+        assert "NO fence placement" in capsys.readouterr().out
+
+    def test_generate_subcommand(self, capsys):
+        assert main(["generate", "Fre", "PodWR", "Fre", "PodWR", "-m", "tso"]) == 0
+        out = capsys.readouterr().out
+        assert "exists" in out and "observed Yes" in out
+
+    def test_generate_unknown_edge(self, capsys):
+        assert main(["generate", "Xyz", "PodWR"]) == 2
+        assert "unknown edge" in capsys.readouterr().err

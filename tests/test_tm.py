@@ -1,0 +1,135 @@
+"""Tests for the transactional-memory extension."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.core.enumerate import enumerate_behaviors
+from repro.experiments.tm_exp import (
+    COUNTER_BLOCKS,
+    SNAPSHOT_BLOCKS,
+    build_counter,
+    build_snapshot,
+)
+from repro.isa.dsl import ProgramBuilder
+from repro.models.registry import get_model
+from repro.tm import AtomicBlock, check_blocks, enumerate_transactional, transactional_witness
+
+
+class TestBlockValidation:
+    def test_empty_block_rejected(self):
+        with pytest.raises(ProgramError):
+            AtomicBlock("A", 2, 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ProgramError):
+            check_blocks(build_counter(), (AtomicBlock("A", 0, 99),))
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ProgramError):
+            check_blocks(
+                build_counter(), (AtomicBlock("A", 0, 2), AtomicBlock("A", 1, 3))
+            )
+
+    def test_branch_inside_rejected(self):
+        builder = ProgramBuilder("branchy")
+        thread = builder.thread("T")
+        thread.load("r1", "x")
+        thread.beqz("r1", "out")
+        thread.store("y", 1)
+        thread.label("out")
+        with pytest.raises(ProgramError):
+            check_blocks(builder.build(), (AtomicBlock("T", 0, 3),))
+
+
+class TestGuards:
+    def test_bypass_models_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            enumerate_transactional(build_counter(), COUNTER_BLOCKS, "tso")
+
+
+class TestCounter:
+    def test_lost_update_without_blocks(self):
+        result = enumerate_behaviors(build_counter(), get_model("sc"))
+        finals = set()
+        for execution in result.executions:
+            finals |= set(execution.memory_finals()["c"])
+        assert finals == {1, 2}
+
+    @pytest.mark.parametrize("model_name", ["sc", "weak"])
+    def test_blocks_forbid_lost_update(self, model_name):
+        transactional = enumerate_transactional(
+            build_counter(), COUNTER_BLOCKS, model_name
+        )
+        assert transactional.rejected > 0
+        for execution in transactional.executions:
+            assert execution.memory_finals()["c"] == (2,)
+
+    def test_single_block_still_allows_interleaving_effects(self):
+        """Protecting only one increment leaves the race."""
+        transactional = enumerate_transactional(
+            build_counter(), (AtomicBlock("A", 0, 3),), "sc"
+        )
+        finals = set()
+        for execution in transactional.executions:
+            finals |= set(execution.memory_finals()["c"])
+        assert 1 in finals
+
+
+class TestSnapshot:
+    def test_no_torn_reads(self):
+        transactional = enumerate_transactional(
+            build_snapshot(), SNAPSHOT_BLOCKS, "weak"
+        )
+        for execution in transactional.executions:
+            registers = execution.final_registers()
+            assert (registers[("R", "r1")], registers[("R", "r2")]) != (1, 0)
+
+    def test_torn_read_exists_without_blocks(self):
+        result = enumerate_behaviors(build_snapshot(), get_model("weak"))
+        torn = any(
+            execution.final_registers()[("R", "r1")] == 1
+            and execution.final_registers()[("R", "r2")] == 0
+            for execution in result.executions
+        )
+        assert torn
+
+    def test_reader_can_also_see_half_old_half_new_reversed(self):
+        """(r1=0, r2=1) is a valid snapshot? No — the writer's block is
+        atomic, so the reader sees all-old or all-new."""
+        transactional = enumerate_transactional(
+            build_snapshot(), SNAPSHOT_BLOCKS, "weak"
+        )
+        pairs = {
+            (
+                execution.final_registers()[("R", "r1")],
+                execution.final_registers()[("R", "r2")],
+            )
+            for execution in transactional.executions
+        }
+        assert pairs == {(0, 0), (1, 1)}
+
+
+class TestWitness:
+    def test_witness_order_keeps_blocks_contiguous(self):
+        transactional = enumerate_transactional(build_counter(), COUNTER_BLOCKS, "sc")
+        for execution in transactional.executions:
+            witness = transactional_witness(execution, COUNTER_BLOCKS)
+            assert witness is not None
+            positions = {nid: i for i, nid in enumerate(witness)}
+            for block in COUNTER_BLOCKS:
+                tid = execution.program.thread_index(block.thread)
+                members = sorted(
+                    positions[node.nid]
+                    for node in execution.graph.nodes
+                    if node.tid == tid
+                    and block.start <= node.index < block.end
+                    and node.is_memory
+                )
+                assert members == list(range(members[0], members[0] + len(members)))
+
+    def test_no_blocks_reduces_to_plain_serialization(self):
+        result = enumerate_behaviors(build_counter(), get_model("sc"))
+        for execution in result.executions:
+            assert transactional_witness(execution, ()) is not None

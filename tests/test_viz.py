@@ -1,0 +1,71 @@
+"""Tests for the dot/ASCII renderers."""
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.models.registry import get_model
+from repro.viz.ascii import render
+from repro.viz.dot import to_dot
+
+from tests.conftest import build_sb
+
+
+def _one_execution(program, model="weak"):
+    return enumerate_behaviors(program, get_model(model)).executions[0]
+
+
+class TestDot:
+    def test_valid_digraph_structure(self, sb_program):
+        execution = _one_execution(sb_program)
+        dot = to_dot(execution.graph, title="SB")
+        assert dot.startswith("digraph execution {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="SB"' in dot
+        assert "subgraph cluster_T0" in dot
+        assert "subgraph cluster_T1" in dot
+
+    def test_init_hidden_by_default(self, sb_program):
+        execution = _one_execution(sb_program)
+        dot = to_dot(execution.graph)
+        assert "cluster_init" not in dot
+        dot_with_init = to_dot(execution.graph, include_init=True)
+        assert "cluster_init" in dot_with_init
+
+    def test_source_edges_ringed(self, sb_program):
+        execution = _one_execution(sb_program)
+        dot = to_dot(execution.graph, include_init=True)
+        assert "arrowtail=odot" in dot
+
+    def test_bypass_edges_grey(self):
+        from repro.experiments.fig1011 import build_program
+
+        execution = next(
+            e
+            for e in enumerate_behaviors(build_program(), get_model("tso")).executions
+            if e.graph.bypass_edges()
+        )
+        dot = to_dot(execution.graph)
+        assert "gray60" in dot
+
+    def test_memory_only_erases_fences(self):
+        from repro.experiments.fig3 import build_program
+
+        execution = _one_execution(build_program())
+        dot = to_dot(execution.graph, memory_only=True)
+        assert "Fence" not in dot
+        full = to_dot(execution.graph, memory_only=False)
+        assert "Fence" in full
+
+
+class TestAscii:
+    def test_lists_threads_and_edges(self, sb_program):
+        execution = _one_execution(sb_program)
+        text = render(execution.graph)
+        assert "thread 0:" in text and "thread 1:" in text
+        assert "edges:" in text
+
+    def test_observation_symbol(self, sb_program):
+        execution = _one_execution(sb_program)
+        assert "==obs==>" in render(execution.graph, include_init=True)
+
+    def test_init_suppressed_by_default(self, sb_program):
+        execution = _one_execution(sb_program)
+        assert "init:" not in render(execution.graph)

@@ -1,0 +1,82 @@
+"""Property tests for the Load–Store-graph projection in the renderer.
+
+The paper erases non-memory nodes from its figures, "connecting
+predecessors and successors of each erased node".  ``to_dot`` implements
+that projection with a transitive-reduction heuristic; the property
+checked here is exactness: the transitive closure of the drawn edges
+over the kept nodes equals the ``⊑`` relation projected onto them.
+"""
+
+import re
+
+from hypothesis import given, settings
+
+from repro.core.enumerate import enumerate_behaviors
+from repro.litmus.library import get_test
+from repro.models.registry import get_model
+from repro.viz.dot import to_dot
+
+from tests.test_properties import small_programs
+from tests.test_properties_extended import annotated_programs
+
+_EDGE_RE = re.compile(r"n(\d+) -> n(\d+)")
+
+
+def _drawn_closure(dot_text: str) -> frozenset:
+    edges = {(int(a), int(b)) for a, b in _EDGE_RE.findall(dot_text)}
+    nodes = {n for edge in edges for n in edge}
+    closure = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for a, b in list(closure):
+            for c, d in list(closure):
+                if b == c and (a, d) not in closure and a != d:
+                    closure.add((a, d))
+                    changed = True
+    return frozenset(closure), nodes
+
+
+def _projected_truth(execution, kept_nodes) -> frozenset:
+    graph = execution.graph
+    return frozenset(
+        (u, v)
+        for u, v in graph.reachability_pairs()
+        if u in kept_nodes and v in kept_nodes
+    )
+
+
+def _check(execution):
+    dot = to_dot(execution.graph, memory_only=True, include_init=True)
+    closure, nodes = _drawn_closure(dot)
+    truth = _projected_truth(execution, nodes)
+    # no invented orderings, no lost orderings
+    assert closure == truth
+
+
+class TestProjectionExactness:
+    def test_figure_programs(self):
+        from repro.experiments import fig3, fig5, fig7
+
+        for module in (fig3, fig5, fig7):
+            result = enumerate_behaviors(module.build_program(), get_model("weak"))
+            for execution in result.executions[:3]:
+                _check(execution)
+
+    def test_fenced_litmus(self):
+        for name in ("SB+fences", "MP+fences", "IRIW+fences"):
+            result = enumerate_behaviors(get_test(name).program, get_model("weak"))
+            for execution in result.executions[:2]:
+                _check(execution)
+
+    @given(small_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_random_programs(self, program):
+        result = enumerate_behaviors(program, get_model("weak"))
+        _check(result.executions[0])
+
+    @given(annotated_programs())
+    @settings(max_examples=10, deadline=None)
+    def test_random_annotated_programs(self, program):
+        result = enumerate_behaviors(program, get_model("weak"))
+        _check(result.executions[0])
