@@ -21,14 +21,18 @@ Quickstart::
 """
 
 from repro.core import (
+    CancellationToken,
+    EnumerationCheckpoint,
     EnumerationLimits,
     EnumerationResult,
+    ExhaustionReason,
     Execution,
     check_store_atomicity,
     close_store_atomicity,
     enumerate_behaviors,
     find_serialization,
     is_serializable,
+    resume_enumeration,
 )
 from repro.isa import Program, ProgramBuilder, Thread, assemble, assemble_program
 from repro.models import (
@@ -47,9 +51,13 @@ from repro.models import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CancellationToken",
+    "EnumerationCheckpoint",
     "EnumerationLimits",
     "EnumerationResult",
+    "ExhaustionReason",
     "Execution",
+    "resume_enumeration",
     "check_store_atomicity",
     "close_store_atomicity",
     "enumerate_behaviors",

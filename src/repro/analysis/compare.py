@@ -9,7 +9,7 @@ chains empirically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
 from repro.isa.program import Program
@@ -19,13 +19,22 @@ from repro.models.registry import get_model
 
 @dataclass(frozen=True)
 class OutcomeSets:
-    """Register-outcome sets per model for one program."""
+    """Register-outcome sets per model for one program.
+
+    ``complete`` records, per model, whether the enumeration exhausted
+    the behavior set; comparisons against a partial outcome set are only
+    lower bounds (see :meth:`conclusive`).
+    """
 
     program_name: str
     outcomes: dict[str, frozenset]
+    complete: dict[str, bool] = field(default_factory=dict)
 
     def count(self, model_name: str) -> int:
         return len(self.outcomes[model_name])
+
+    def is_complete(self, model_name: str) -> bool:
+        return self.complete.get(model_name, True)
 
     def included(self, weaker: str, stronger: str) -> bool:
         """True iff outcomes(weaker) ⊆ outcomes(stronger).
@@ -35,6 +44,17 @@ class OutcomeSets:
         is also a TSO outcome.
         """
         return self.outcomes[weaker] <= self.outcomes[stronger]
+
+    def conclusive(self, weaker: str, stronger: str) -> bool:
+        """Whether :meth:`included` is a definitive verdict.
+
+        A positive inclusion needs the *weaker* (left) side complete — a
+        partial left set may be missing the violating outcome; a negative
+        inclusion needs the *stronger* (right) side complete — a partial
+        right set may be missing the matching outcome."""
+        if self.included(weaker, stronger):
+            return self.is_complete(weaker)
+        return self.is_complete(stronger)
 
     def only_in(self, model_a: str, model_b: str) -> frozenset:
         """Outcomes observable under ``model_a`` but not ``model_b``."""
@@ -48,20 +68,27 @@ def outcome_sets(
 ) -> OutcomeSets:
     """Enumerate the program under each model and collect outcome sets."""
     collected: dict[str, frozenset] = {}
+    complete: dict[str, bool] = {}
     for model in models:
         resolved = get_model(model) if isinstance(model, str) else model
         result = enumerate_behaviors(program, resolved, limits)
         collected[resolved.name] = result.register_outcomes()
-    return OutcomeSets(program.name, collected)
+        complete[resolved.name] = result.complete
+    return OutcomeSets(program.name, collected, complete)
 
 
 @dataclass(frozen=True)
 class ChainReport:
-    """Result of checking an inclusion chain on a set of programs."""
+    """Result of checking an inclusion chain on a set of programs.
+
+    ``caveats`` lists apparent violations that rest on a *partial*
+    outcome set: the missing side may simply not have been enumerated
+    yet, so they are reported but do not refute the chain."""
 
     chain: tuple[str, ...]
     per_program: dict[str, OutcomeSets]
     violations: tuple[str, ...]
+    caveats: tuple[str, ...] = ()
 
     @property
     def holds(self) -> bool:
@@ -77,17 +104,22 @@ def check_inclusion_chain(
     model's outcomes, on every program."""
     per_program: dict[str, OutcomeSets] = {}
     violations: list[str] = []
+    caveats: list[str] = []
     for program in programs:
         sets = outcome_sets(program, chain, limits)
         per_program[program.name] = sets
         for stronger, weaker in zip(chain, chain[1:]):
             if not sets.included(stronger, weaker):
                 extra = sets.only_in(stronger, weaker)
-                violations.append(
+                message = (
                     f"{program.name}: {stronger} has {len(extra)} outcome(s) "
                     f"not in {weaker}"
                 )
-    return ChainReport(chain, per_program, tuple(violations))
+                if sets.conclusive(stronger, weaker):
+                    violations.append(message)
+                else:
+                    caveats.append(f"{message} (partial enumeration — inconclusive)")
+    return ChainReport(chain, per_program, tuple(violations), tuple(caveats))
 
 
 @dataclass(frozen=True)
@@ -100,12 +132,14 @@ class RobustnessReport:
     model_name: str
     robust: bool
     extra_outcomes: frozenset  #: outcomes possible under the model but not SC
+    complete: bool = True  #: False when either enumeration was budget-limited
 
     def summary(self) -> str:
+        caveat = "" if self.complete else " (partial enumeration — lower bound)"
         if self.robust:
             return (
                 f"{self.program_name} is robust against {self.model_name}: "
-                f"all behaviors are SC behaviors"
+                f"all behaviors are SC behaviors{caveat}"
             )
         samples = []
         for outcome in sorted(self.extra_outcomes, key=repr)[:3]:
@@ -120,6 +154,7 @@ class RobustnessReport:
         return (
             f"{self.program_name} is NOT robust against {self.model_name}: "
             f"{len(self.extra_outcomes)} non-SC outcome(s), e.g. {'; '.join(samples)}"
+            f"{caveat}"
         )
 
 
@@ -128,16 +163,21 @@ def check_robustness(
     model: str | MemoryModel = "weak",
     limits: EnumerationLimits | None = None,
 ) -> RobustnessReport:
-    """Decide SC-robustness by exhaustive enumeration under both models."""
+    """Decide SC-robustness by exhaustive enumeration under both models.
+
+    When either enumeration stops at a budget the verdict is a lower
+    bound (``complete=False``): extra outcomes found are real, but a
+    "robust" verdict may miss behaviors beyond the budget."""
     resolved = get_model(model) if isinstance(model, str) else model
-    sc_outcomes = enumerate_behaviors(program, get_model("sc"), limits).register_outcomes()
-    weak_outcomes = enumerate_behaviors(program, resolved, limits).register_outcomes()
-    extra = weak_outcomes - sc_outcomes
+    sc_result = enumerate_behaviors(program, get_model("sc"), limits)
+    weak_result = enumerate_behaviors(program, resolved, limits)
+    extra = weak_result.register_outcomes() - sc_result.register_outcomes()
     return RobustnessReport(
         program_name=program.name,
         model_name=resolved.name,
         robust=not extra,
         extra_outcomes=frozenset(extra),
+        complete=sc_result.complete and weak_result.complete,
     )
 
 

@@ -21,7 +21,12 @@ from pathlib import Path
 
 from repro.errors import ReproError
 from repro.analysis.wellsync import check_well_synchronized
-from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
+from repro.core.enumerate import (
+    EnumerationCheckpoint,
+    EnumerationLimits,
+    enumerate_behaviors,
+    resume_enumeration,
+)
 from repro.experiments.fig1 import render_table
 from repro.litmus.library import all_tests, get_test, test_names
 from repro.litmus.runner import format_matrix, run_litmus, run_matrix
@@ -46,7 +51,21 @@ def _load_test(spec: str) -> LitmusTest:
 
 
 def _limits(args: argparse.Namespace) -> EnumerationLimits:
-    return EnumerationLimits(max_nodes_per_thread=args.max_nodes)
+    defaults = EnumerationLimits()
+    max_behaviors = getattr(args, "max_behaviors", None)
+    max_executions = getattr(args, "max_executions", None)
+    return EnumerationLimits(
+        max_behaviors=defaults.max_behaviors if max_behaviors is None else max_behaviors,
+        max_executions=defaults.max_executions if max_executions is None else max_executions,
+        max_nodes_per_thread=args.max_nodes,
+        deadline_seconds=getattr(args, "deadline", None),
+    )
+
+
+
+
+def _strict(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "strict", False))
 
 
 def cmd_models(args: argparse.Namespace) -> int:
@@ -81,17 +100,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     test = _load_test(args.test)
     exit_code = 0
     for model_name in args.model:
-        verdict = run_litmus(test, model_name, _limits(args))
+        verdict = run_litmus(test, model_name, _limits(args), strict=_strict(args))
         expectation = ""
         if verdict.matches_expectation is False:
             expectation = "  [UNEXPECTED]"
             exit_code = 1
+        partial = "" if verdict.complete else f"  [{verdict.result.status.upper()}]"
         print(
             f"{test.name} under {model_name}: {test.condition} -> "
             f"{'Yes' if verdict.holds else 'No'} "
             f"({verdict.executions} executions, "
             f"{verdict.satisfied_pairs}/{verdict.total_pairs} final states match)"
-            f"{expectation}"
+            f"{expectation}{partial}"
         )
     if args.dot:
         result = enumerate_behaviors(test.program, get_model(args.model[0]), _limits(args))
@@ -109,14 +129,32 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_enumerate(args: argparse.Namespace) -> int:
-    test = _load_test(args.test)
-    result = enumerate_behaviors(test.program, get_model(args.model[0]), _limits(args))
+    if not args.resume and not args.test:
+        raise ReproError("enumerate requires a test name (or --resume CHECKPOINT)")
+    if args.resume:
+        # A resume takes this invocation's budgets (defaults unless
+        # flags are given) — counting budgets are cumulative, so the
+        # defaults let an exhausted search make progress.
+        checkpoint = EnumerationCheckpoint.load(args.resume)
+        result = resume_enumeration(checkpoint, _limits(args), strict=_strict(args))
+        name = checkpoint.program.name
+        model_name = checkpoint.model.name
+    else:
+        test = _load_test(args.test)
+        name = test.name
+        model_name = args.model[0]
+        result = enumerate_behaviors(
+            test.program, get_model(model_name), _limits(args), strict=_strict(args)
+        )
     print(
-        f"{test.name} under {args.model[0]}: {len(result)} distinct executions "
+        f"{name} under {model_name}: {len(result)} distinct executions "
         f"(explored {result.stats.explored} behaviors, "
         f"{result.stats.duplicates} duplicates discarded, "
-        f"{result.stats.rolled_back} rolled back)"
+        f"{result.stats.rolled_back} rolled back) [{result.status}]"
     )
+    if not result.complete and args.checkpoint:
+        result.checkpoint.save(args.checkpoint)
+        print(f"wrote checkpoint {args.checkpoint} (resume with --resume)")
     for outcome in sorted(result.register_outcomes(), key=repr):
         rendered = "  ".join(
             f"{thread}:{register}={value}"
@@ -137,7 +175,7 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     tests = (
         [get_test(name) for name in args.tests.split(",")] if args.tests else all_tests()
     )
-    verdicts = run_matrix(tests, models, _limits(args))
+    verdicts = run_matrix(tests, models, _limits(args), strict=_strict(args))
     print(format_matrix(verdicts))
     mismatches = [v for v in verdicts if v.matches_expectation is False]
     if mismatches:
@@ -245,6 +283,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.report import main as report_main
 
     argv = ["--markdown", args.markdown] if args.markdown else []
+    if args.deadline is not None:
+        argv += ["--deadline", str(args.deadline)]
     return report_main(argv)
 
 
@@ -270,6 +310,20 @@ def build_parser() -> argparse.ArgumentParser:
             default=64,
             help="dynamic-instruction bound per thread (loop guard)",
         )
+        p.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget per enumeration; exceeding it returns "
+            "an honestly-labeled partial result",
+        )
+        p.add_argument(
+            "--strict",
+            action="store_true",
+            help="raise on an exhausted budget instead of returning a "
+            "partial result",
+        )
 
     p_models = sub.add_parser("models", help="list models / render a reordering table")
     p_models.add_argument("--table", metavar="MODEL", help="render MODEL's Figure-1 table")
@@ -291,15 +345,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=cmd_run)
 
     p_enum = sub.add_parser("enumerate", help="enumerate all behaviors of a test")
-    p_enum.add_argument("test")
+    p_enum.add_argument("test", nargs="?", help="test name/file (omit with --resume)")
     add_common(p_enum)
     p_enum.add_argument("--graphs", type=int, default=0, help="print the first N graphs")
+    p_enum.add_argument(
+        "--max-behaviors", type=int, default=None, help="behavior-exploration budget"
+    )
+    p_enum.add_argument(
+        "--max-executions", type=int, default=None, help="kept-execution budget"
+    )
+    p_enum.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="where to save a resumable checkpoint if the search is budget-limited",
+    )
+    p_enum.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume an interrupted search from a checkpoint file",
+    )
     p_enum.set_defaults(func=cmd_enumerate)
 
     p_matrix = sub.add_parser("matrix", help="run the litmus × model matrix")
     p_matrix.add_argument("--models", default="sc,tso,pso,weak,weak-corr")
     p_matrix.add_argument("--tests", default=None, help="comma-separated test names")
     p_matrix.add_argument("--max-nodes", type=int, default=64)
+    p_matrix.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per enumeration (partial cells marked ~)",
+    )
+    p_matrix.add_argument("--strict", action="store_true")
     p_matrix.set_defaults(func=cmd_matrix)
 
     p_ws = sub.add_parser("wellsync", help="check the §8 well-sync discipline")
@@ -361,6 +436,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiments", help="run every paper experiment")
     p_exp.add_argument("--markdown", metavar="PATH", help="also write EXPERIMENTS.md")
+    p_exp.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-experiment wall-clock budget; hung experiments become ERROR rows",
+    )
     p_exp.set_defaults(func=cmd_experiments)
 
     return parser

@@ -3,10 +3,14 @@
 from repro.core.atomicity import check_store_atomicity, close_store_atomicity
 from repro.core.candidates import candidate_stores
 from repro.core.enumerate import (
+    CancellationToken,
+    EnumerationCheckpoint,
     EnumerationLimits,
     EnumerationResult,
     EnumerationStats,
+    ExhaustionReason,
     enumerate_behaviors,
+    resume_enumeration,
 )
 from repro.core.execution import Execution, ThreadState, instruction_operands
 from repro.core.graph import ORDERING_KINDS, EdgeKind, ExecutionGraph, iter_bits
@@ -23,10 +27,14 @@ __all__ = [
     "check_store_atomicity",
     "close_store_atomicity",
     "candidate_stores",
+    "CancellationToken",
+    "EnumerationCheckpoint",
     "EnumerationLimits",
     "EnumerationResult",
     "EnumerationStats",
+    "ExhaustionReason",
     "enumerate_behaviors",
+    "resume_enumeration",
     "Execution",
     "ThreadState",
     "instruction_operands",

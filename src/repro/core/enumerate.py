@@ -13,31 +13,99 @@ behavior keys (and completed executions by their Load–Store graphs).
 Speculative executions whose deferred alias edges or atomicity closure
 become inconsistent are discarded: in an enumerative setting, a rolled
 back and re-tried load is exactly some other branch of the search.
+
+Resilience
+----------
+
+The behavior set grows combinatorially with threads and loads, so the
+search is guarded by :class:`EnumerationLimits` budgets: behavior and
+execution counts, a wall-clock deadline, an approximate memory budget
+over the worklist and dedup set, and a cooperative
+:class:`CancellationToken`.  By default an exhausted budget **degrades
+gracefully**: the partial result is returned with ``complete=False``, a
+populated :class:`ExhaustionReason`, and an
+:class:`EnumerationCheckpoint` from which the search can be resumed
+under a bigger budget (:func:`resume_enumeration`).  Passing
+``strict=True`` restores the historical raise-on-limit behavior.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import enum
+import pickle
+import sys
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
-from repro.errors import AtomicityViolation, CycleError, EnumerationError
+from repro.errors import (
+    AtomicityViolation,
+    CycleError,
+    EnumerationError,
+    StuckBehaviorWarning,
+)
 from repro.core.candidates import candidate_stores
 from repro.core.execution import Execution
 from repro.isa.program import Program
 from repro.models.base import MemoryModel
 
 
+class ExhaustionReason(enum.Enum):
+    """Why an enumeration stopped before exhausting the behavior set."""
+
+    BEHAVIOR_BUDGET = "behavior-budget"  #: ``max_behaviors`` explored
+    EXECUTION_BUDGET = "execution-budget"  #: ``max_executions`` kept
+    DEADLINE = "deadline"  #: ``deadline_seconds`` of wall clock elapsed
+    MEMORY = "memory"  #: ``max_memory_mb`` accounting budget exceeded
+    CANCELLED = "cancelled"  #: the :class:`CancellationToken` fired
+
+
+class CancellationToken:
+    """Cooperative cancellation: the search polls the token each step.
+
+    ``cancel()`` may be called from any thread (e.g. a signal handler or
+    a supervising batch runner); the enumerator stops at the next loop
+    iteration and returns a resumable partial result.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
 @dataclass(frozen=True)
 class EnumerationLimits:
-    """Resource limits guarding the search."""
+    """Resource budgets guarding the search.
+
+    Counting budgets are exact upper bounds: at most ``max_behaviors``
+    behaviors are popped from the worklist and at most ``max_executions``
+    distinct executions are kept.
+    """
 
     max_behaviors: int = 1_000_000  #: distinct behavior states explored
     max_executions: int = 100_000  #: distinct completed executions kept
     max_nodes_per_thread: int = 64  #: dynamic-instruction bound (loops)
+    deadline_seconds: float | None = None  #: wall-clock budget per call
+    max_memory_mb: float | None = None  #: approximate worklist+dedup budget
 
 
 @dataclass
 class EnumerationStats:
-    """Counters describing one enumeration run."""
+    """Counters describing one enumeration run.
+
+    Every behavior popped from the worklist (and fully processed) falls
+    into exactly one bucket, so ``explored == completed + stuck +
+    branched`` holds at all times; ``duplicates`` counts *children*
+    dropped before ever entering the worklist.
+    """
 
     explored: int = 0  #: behaviors popped from the worklist
     resolutions: int = 0  #: (load, candidate) branches attempted
@@ -46,16 +114,72 @@ class EnumerationStats:
     truncated: int = 0  #: branches dropped at the node limit
     stuck: int = 0  #: incomplete behaviors with no eligible load (bug guard)
     completed: int = 0  #: completed executions reached (pre-dedup)
+    branched: int = 0  #: incomplete behaviors expanded by Load Resolution
+
+    def consistent(self) -> bool:
+        """The pop-side accounting identity (see class docstring)."""
+        return self.explored == self.completed + self.stuck + self.branched
+
+
+@dataclass
+class EnumerationCheckpoint:
+    """A resumable snapshot of an interrupted search.
+
+    Holds the remaining worklist plus the dedup set and the completed
+    executions gathered so far; :func:`resume_enumeration` continues the
+    search exactly where it stopped, so a resumed run reaches the same
+    behavior set as an unbudgeted run would have.
+    """
+
+    program: Program
+    model: MemoryModel
+    limits: EnumerationLimits
+    dedup: bool
+    worklist: list[Execution]
+    seen_states: set
+    finished: dict
+    stats: EnumerationStats
+
+    def save(self, path: str | Path) -> None:
+        """Serialize the checkpoint to ``path`` (pickle format)."""
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle)
+
+    @staticmethod
+    def load(path: str | Path) -> "EnumerationCheckpoint":
+        """Load a checkpoint previously written by :meth:`save`."""
+        try:
+            with open(path, "rb") as handle:
+                checkpoint = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise EnumerationError(
+                f"cannot load checkpoint {str(path)!r}: {exc}"
+            ) from exc
+        if not isinstance(checkpoint, EnumerationCheckpoint):
+            raise EnumerationError(
+                f"{str(path)!r} does not contain an enumeration checkpoint "
+                f"(found {type(checkpoint).__name__})"
+            )
+        return checkpoint
 
 
 @dataclass
 class EnumerationResult:
-    """All distinct behaviors of a program under a model."""
+    """All distinct behaviors of a program under a model.
+
+    ``complete`` is False when a budget stopped the search early; then
+    ``reason`` names the exhausted budget and ``checkpoint`` allows the
+    search to be resumed.  The executions of a partial result are an
+    honest subset of the full behavior set.
+    """
 
     program: Program
     model: MemoryModel
     executions: list[Execution]
     stats: EnumerationStats = field(default_factory=EnumerationStats)
+    complete: bool = True
+    reason: ExhaustionReason | None = None
+    checkpoint: EnumerationCheckpoint | None = None
 
     def register_outcomes(self) -> frozenset[frozenset]:
         """The set of final-register outcomes over all executions.  Each
@@ -64,8 +188,68 @@ class EnumerationResult:
             frozenset(execution.final_registers().items()) for execution in self.executions
         )
 
+    @property
+    def status(self) -> str:
+        """A short human-readable completeness label."""
+        if self.complete:
+            return "complete"
+        reason = self.reason.value if self.reason is not None else "unknown"
+        return f"partial ({reason})"
+
     def __len__(self) -> int:
         return len(self.executions)
+
+
+# ----------------------------------------------------------------------
+# approximate memory accounting (worklist + dedup set)
+
+_EXEC_BASE_COST = 1024  #: bytes charged per queued behavior (object overhead)
+_EXEC_NODE_COST = 512  #: bytes charged per graph node of a queued behavior
+
+
+def _execution_cost(execution: Execution) -> int:
+    return _EXEC_BASE_COST + _EXEC_NODE_COST * len(execution.graph.nodes)
+
+
+def _key_cost(obj) -> int:
+    """Approximate deep size of a canonical state key (nested tuples,
+    frozensets and scalars only — no cycles by construction)."""
+    size = sys.getsizeof(obj)
+    if isinstance(obj, (tuple, frozenset)):
+        size += sum(_key_cost(item) for item in obj)
+    return size
+
+
+class _MemoryAccountant:
+    """Tracks an approximate byte total for the search's live state.
+
+    Only active when ``max_memory_mb`` is set; otherwise every call is a
+    no-op so the default fast path pays nothing.
+    """
+
+    def __init__(self, limit_mb: float | None) -> None:
+        self.limit_bytes = None if limit_mb is None else int(limit_mb * 1024 * 1024)
+        self.tracked = 0
+
+    def charge_execution(self, execution: Execution) -> None:
+        if self.limit_bytes is not None:
+            self.tracked += _execution_cost(execution)
+
+    def release_execution(self, execution: Execution) -> None:
+        if self.limit_bytes is not None:
+            self.tracked -= _execution_cost(execution)
+
+    def charge_key(self, key) -> None:
+        if self.limit_bytes is not None:
+            self.tracked += _key_cost(key)
+
+    @property
+    def exceeded(self) -> bool:
+        return self.limit_bytes is not None and self.tracked > self.limit_bytes
+
+
+# ----------------------------------------------------------------------
+# the search driver
 
 
 def enumerate_behaviors(
@@ -73,6 +257,9 @@ def enumerate_behaviors(
     model: MemoryModel,
     limits: EnumerationLimits | None = None,
     dedup: bool = True,
+    *,
+    strict: bool = False,
+    token: CancellationToken | None = None,
 ) -> EnumerationResult:
     """Enumerate all distinct executions of ``program`` under ``model``.
 
@@ -81,58 +268,250 @@ def enumerate_behaviors(
     Load–Store graphs).  The behavior set is unchanged; only the explored
     state count grows — the ablation knob for §4.1's "We discard duplicate
     behaviors from B at each Load Resolution step to avoid wasting effort".
+
+    When a budget in ``limits`` is exhausted the search stops and returns
+    a partial :class:`EnumerationResult` (``complete=False``) carrying an
+    :class:`ExhaustionReason` and a resumable checkpoint; ``strict=True``
+    instead raises :class:`EnumerationError` as older versions did.
+    ``token`` allows a supervisor to cancel the search cooperatively.
     """
     limits = limits or EnumerationLimits()
-    stats = EnumerationStats()
 
     initial = Execution.initial(program, model, limits.max_nodes_per_thread)
     worklist: list[Execution] = [initial]
     seen_states: set = {initial.state_key()}
-    finished: dict = {}
+    return _search(
+        program,
+        model,
+        limits,
+        dedup,
+        strict,
+        token,
+        worklist,
+        seen_states,
+        finished={},
+        stats=EnumerationStats(),
+    )
 
+
+def resume_enumeration(
+    checkpoint: EnumerationCheckpoint,
+    limits: EnumerationLimits | None = None,
+    *,
+    strict: bool = False,
+    token: CancellationToken | None = None,
+) -> EnumerationResult:
+    """Continue an interrupted search from a checkpoint.
+
+    ``limits`` replaces the checkpointed budgets (typically with bigger
+    ones); omitted, the original limits apply — which stops immediately
+    again if the same counting budget is still exhausted.  The deadline
+    clock restarts at the time of this call.
+
+    Counting budgets are cumulative across resumes: ``stats`` carries
+    over, so ``max_behaviors=N`` bounds the *total* behaviors explored
+    by the original run plus every resume.
+    """
+    limits = limits or checkpoint.limits
+    return _search(
+        checkpoint.program,
+        checkpoint.model,
+        limits,
+        checkpoint.dedup,
+        strict,
+        token,
+        list(checkpoint.worklist),
+        set(checkpoint.seen_states),
+        finished=dict(checkpoint.finished),
+        stats=replace(checkpoint.stats),
+    )
+
+
+def _search(
+    program: Program,
+    model: MemoryModel,
+    limits: EnumerationLimits,
+    dedup: bool,
+    strict: bool,
+    token: CancellationToken | None,
+    worklist: list[Execution],
+    seen_states: set,
+    finished: dict,
+    stats: EnumerationStats,
+) -> EnumerationResult:
+    start = time.monotonic()
+    accountant = _MemoryAccountant(limits.max_memory_mb)
+    if accountant.limit_bytes is not None:
+        for queued in worklist:
+            accountant.charge_execution(queued)
+        for key in seen_states:
+            accountant.charge_key(key)
+
+    reason: ExhaustionReason | None = None
     while worklist:
+        reason = _budget_exhausted(limits, stats, finished, start, accountant, token)
+        if reason is not None:
+            if strict:
+                raise _strict_error(reason, program, model, limits)
+            break
+
         behavior = worklist.pop()
+        accountant.release_execution(behavior)
         stats.explored += 1
-        if stats.explored > limits.max_behaviors:
-            raise EnumerationError(
-                f"exceeded {limits.max_behaviors} explored behaviors for "
-                f"{program.name!r} under {model.name}"
-            )
 
         if behavior.completed():
+            key = behavior.loadstore_key()
+            if key not in finished and len(finished) >= limits.max_executions:
+                # Keeping this execution would exceed the budget: requeue
+                # the behavior (and undo its pop accounting) so a resume
+                # under a bigger budget sees it again.
+                worklist.append(behavior)
+                accountant.charge_execution(behavior)
+                stats.explored -= 1
+                reason = ExhaustionReason.EXECUTION_BUDGET
+                if strict:
+                    raise _strict_error(reason, program, model, limits)
+                break
             stats.completed += 1
-            finished.setdefault(behavior.loadstore_key(), behavior)
-            if len(finished) > limits.max_executions:
-                raise EnumerationError(
-                    f"exceeded {limits.max_executions} distinct executions for "
-                    f"{program.name!r} under {model.name}"
-                )
+            finished.setdefault(key, behavior)
             continue
 
         eligible = behavior.eligible_loads()
         if not eligible:
             stats.stuck += 1
             continue
+        stats.branched += 1
 
-        for load in eligible:
-            for store in candidate_stores(behavior, load):
-                stats.resolutions += 1
-                child = behavior.copy()
-                try:
-                    child.resolve_load(load.nid, store.nid)
-                except (CycleError, AtomicityViolation):
-                    stats.rolled_back += 1
-                    continue
-                except EnumerationError:
-                    stats.truncated += 1
-                    continue
-                if dedup:
-                    key = child.state_key()
-                    if key in seen_states:
-                        stats.duplicates += 1
-                        continue
-                    seen_states.add(key)
-                worklist.append(child)
+        reason = _branch(
+            behavior, eligible, dedup, worklist, seen_states, stats, accountant
+        )
+        if reason is not None:
+            # The behavior was only partly expanded: requeue it so the
+            # remaining branches are regenerated on resume (already-seen
+            # children dedup away), and undo its pop accounting.
+            worklist.append(behavior)
+            accountant.charge_execution(behavior)
+            stats.explored -= 1
+            stats.branched -= 1
+            if strict:
+                raise _strict_error(reason, program, model, limits)
+            break
+
+    if stats.stuck > 0:
+        warnings.warn(
+            StuckBehaviorWarning(
+                f"{stats.stuck} behavior(s) of {program.name!r} under "
+                f"{model.name} got stuck with no eligible load — this "
+                f"indicates an enumeration-engine bug"
+            ),
+            stacklevel=2,
+        )
 
     executions = sorted(finished.values(), key=lambda e: repr(e.loadstore_key()))
-    return EnumerationResult(program, model, executions, stats)
+    complete = reason is None
+    checkpoint = None
+    if not complete:
+        checkpoint = EnumerationCheckpoint(
+            program=program,
+            model=model,
+            limits=limits,
+            dedup=dedup,
+            worklist=list(worklist),
+            seen_states=set(seen_states),
+            finished=dict(finished),
+            stats=replace(stats),
+        )
+    return EnumerationResult(
+        program, model, executions, stats, complete, reason, checkpoint
+    )
+
+
+def _branch(
+    behavior: Execution,
+    eligible: list,
+    dedup: bool,
+    worklist: list[Execution],
+    seen_states: set,
+    stats: EnumerationStats,
+    accountant: _MemoryAccountant,
+) -> ExhaustionReason | None:
+    """Expand one behavior by Load Resolution.  Returns an exhaustion
+    reason when a fault forces the search to degrade, else None."""
+    for load in eligible:
+        for store in candidate_stores(behavior, load):
+            stats.resolutions += 1
+            try:
+                child = behavior.copy()
+                child.resolve_load(load.nid, store.nid)
+            except (CycleError, AtomicityViolation):
+                stats.rolled_back += 1
+                continue
+            except EnumerationError:
+                stats.truncated += 1
+                continue
+            except MemoryError:
+                # Allocation pressure (real or injected): stop cleanly
+                # with whatever has been gathered so far.
+                return ExhaustionReason.MEMORY
+            if dedup:
+                key = child.state_key()
+                if key in seen_states:
+                    stats.duplicates += 1
+                    continue
+                seen_states.add(key)
+                accountant.charge_key(key)
+            worklist.append(child)
+            accountant.charge_execution(child)
+    return None
+
+
+def _budget_exhausted(
+    limits: EnumerationLimits,
+    stats: EnumerationStats,
+    finished: dict,
+    start: float,
+    accountant: _MemoryAccountant,
+    token: CancellationToken | None,
+) -> ExhaustionReason | None:
+    """The pre-pop budget check, cheapest test first."""
+    if token is not None and token.cancelled:
+        return ExhaustionReason.CANCELLED
+    if stats.explored >= limits.max_behaviors:
+        return ExhaustionReason.BEHAVIOR_BUDGET
+    if accountant.exceeded:
+        return ExhaustionReason.MEMORY
+    if (
+        limits.deadline_seconds is not None
+        and time.monotonic() - start >= limits.deadline_seconds
+    ):
+        return ExhaustionReason.DEADLINE
+    return None
+
+
+def _strict_error(
+    reason: ExhaustionReason,
+    program: Program,
+    model: MemoryModel,
+    limits: EnumerationLimits,
+) -> EnumerationError:
+    descriptions = {
+        ExhaustionReason.BEHAVIOR_BUDGET: (
+            f"exceeded {limits.max_behaviors} explored behaviors"
+        ),
+        ExhaustionReason.EXECUTION_BUDGET: (
+            f"exceeded {limits.max_executions} distinct executions"
+        ),
+        ExhaustionReason.DEADLINE: (
+            f"exceeded the {limits.deadline_seconds}s deadline"
+        ),
+        ExhaustionReason.MEMORY: (
+            f"exceeded the {limits.max_memory_mb} MB memory budget"
+            if limits.max_memory_mb is not None
+            else "ran out of memory during Load Resolution"
+        ),
+        ExhaustionReason.CANCELLED: "cancelled by the caller",
+    }
+    return EnumerationError(
+        f"{descriptions[reason]} for {program.name!r} under {model.name}",
+        reason=reason,
+    )

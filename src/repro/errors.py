@@ -66,7 +66,23 @@ class SerializationError(ReproError):
 
 class EnumerationError(ReproError):
     """The behavior-enumeration procedure hit a configured resource limit
-    (too many behaviors, too many steps) or an internal inconsistency."""
+    (too many behaviors, too many steps) or an internal inconsistency.
+
+    When the error corresponds to an exhausted budget in ``strict`` mode,
+    ``reason`` carries the matching
+    :class:`~repro.core.enumerate.ExhaustionReason` member.
+    """
+
+    def __init__(self, message: str, reason: object | None = None) -> None:
+        self.reason = reason
+        super().__init__(message)
+
+
+class StuckBehaviorWarning(RuntimeWarning):
+    """The enumerator discarded an incomplete behavior with no eligible
+    load.  Every incomplete behavior should offer at least one eligible
+    load (memory is initialized with stores), so a stuck behavior points
+    at an engine bug; it is surfaced rather than silently dropped."""
 
 
 class ConditionError(ReproError):

@@ -8,9 +8,13 @@ agree — feeding both the test suite and EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import threading
+import time
+import traceback
+import warnings
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import ReproError, StuckBehaviorWarning
 from repro.core.enumerate import EnumerationResult
 from repro.core.execution import Execution
 from repro.core.node import Node
@@ -56,6 +60,142 @@ class ExperimentResult:
         lines = [f"== {self.experiment_id}: {self.title} [{status}] =="]
         lines.extend(f"  {claim}" for claim in self.claims)
         return "\n".join(lines)
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's quarantined batch outcome.
+
+    A failing or crashing experiment becomes an ``ERROR`` row carrying
+    its traceback instead of aborting the whole batch; notes collect
+    engine warnings (e.g. stuck behaviors) observed during the run.
+    """
+
+    experiment_id: str
+    title: str
+    status: str  #: "PASS" | "FAIL" | "ERROR"
+    result: ExperimentResult | None = None
+    error: str = ""  #: traceback text (ERROR rows)
+    attempts: int = 1
+    duration_seconds: float = 0.0
+    notes: tuple[str, ...] = ()
+
+    @property
+    def passed(self) -> bool:
+        return self.status == "PASS"
+
+    def summary(self) -> str:
+        if self.result is not None:
+            text = self.result.summary()
+        else:
+            first_line = self.error.strip().splitlines()[-1] if self.error else "?"
+            text = f"== {self.experiment_id}: {self.title} [ERROR] ==\n  {first_line}"
+        for note in self.notes:
+            text += f"\n  [FAIL-NOTE] {note}"
+        return text
+
+    @staticmethod
+    def from_result(result: ExperimentResult, **kwargs) -> "ExperimentOutcome":
+        # A stuck-behavior note marks an engine bug, so it demotes an
+        # otherwise-passing experiment.
+        passed = result.passed and not kwargs.get("notes")
+        return ExperimentOutcome(
+            experiment_id=result.experiment_id,
+            title=result.title,
+            status="PASS" if passed else "FAIL",
+            result=result,
+            **kwargs,
+        )
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Classify a failure as transient (worth one retry): allocation or
+    OS-level pressure, or anything flagged ``transient`` (the fault
+    injector marks its exceptions so)."""
+    return isinstance(exc, (MemoryError, OSError)) or bool(
+        getattr(exc, "transient", False)
+    )
+
+
+def run_isolated(
+    module,
+    deadline_seconds: float | None = None,
+    retries: int = 1,
+) -> ExperimentOutcome:
+    """Run one experiment module in isolation.
+
+    The experiment executes in a worker thread so a hang is bounded by
+    ``deadline_seconds`` (the thread is abandoned on timeout — Python
+    cannot preempt it — and the batch moves on).  A transient failure is
+    retried up to ``retries`` times; persistent failures and timeouts
+    are quarantined as ``ERROR`` outcomes with the traceback attached.
+    :class:`StuckBehaviorWarning` emitted during the run is surfaced as
+    a FAIL-style note on the outcome.
+    """
+    experiment_id = getattr(module, "EXPERIMENT_ID", module.__name__.rsplit(".", 1)[-1])
+    title = getattr(module, "TITLE", experiment_id)
+
+    start = time.monotonic()
+    attempts = 0
+    last_error = ""
+    while attempts <= retries:
+        attempts += 1
+        box: dict[str, object] = {}
+
+        def target() -> None:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                try:
+                    box["result"] = module.run()
+                except BaseException as exc:  # quarantined, not re-raised
+                    box["error"] = exc
+                    box["traceback"] = traceback.format_exc()
+                box["warnings"] = caught
+
+        worker = threading.Thread(
+            target=target, name=f"experiment-{experiment_id}", daemon=True
+        )
+        worker.start()
+        worker.join(deadline_seconds)
+        duration = time.monotonic() - start
+
+        if worker.is_alive():
+            return ExperimentOutcome(
+                experiment_id=experiment_id,
+                title=title,
+                status="ERROR",
+                error=(
+                    f"TimeoutError: experiment exceeded its {deadline_seconds}s "
+                    f"deadline (worker thread abandoned)"
+                ),
+                attempts=attempts,
+                duration_seconds=duration,
+            )
+
+        notes = tuple(
+            f"stuck behaviors reported: {w.message}"
+            for w in box.get("warnings", ())
+            if isinstance(w.message, StuckBehaviorWarning)
+        )
+        if "result" in box:
+            return ExperimentOutcome.from_result(
+                box["result"],
+                attempts=attempts,
+                duration_seconds=duration,
+                notes=notes,
+            )
+        last_error = str(box.get("traceback", ""))
+        if not is_transient(box.get("error")) or attempts > retries:
+            break
+
+    return ExperimentOutcome(
+        experiment_id=experiment_id,
+        title=title,
+        status="ERROR",
+        error=last_error,
+        attempts=attempts,
+        duration_seconds=time.monotonic() - start,
+    )
 
 
 def node_at(execution: Execution, thread_name: str, index: int) -> Node:

@@ -23,6 +23,7 @@ class LitmusVerdict:
     holds: bool  #: quantified condition verdict
     expected: bool | None  #: expectation from the test, if any
     result: EnumerationResult
+    complete: bool = True  #: False when the enumeration was budget-limited
 
     @property
     def matches_expectation(self) -> bool | None:
@@ -32,10 +33,11 @@ class LitmusVerdict:
 
     def summary(self) -> str:
         mark = {True: "ok", False: "MISMATCH", None: "-"}[self.matches_expectation]
+        partial = "" if self.complete else f" [{self.result.status}]"
         return (
             f"{self.test.name:<16} {self.model.name:<10} "
             f"executions={self.executions:<5} {self.test.condition.quantifier:>7}: "
-            f"{'Yes' if self.holds else 'No':<3} [{mark}]"
+            f"{'Yes' if self.holds else 'No':<3} [{mark}]{partial}"
         )
 
 
@@ -43,11 +45,16 @@ def run_litmus(
     test: LitmusTest,
     model: MemoryModel | str,
     limits: EnumerationLimits | None = None,
+    strict: bool = False,
 ) -> LitmusVerdict:
-    """Enumerate the test's behaviors under ``model`` and judge the condition."""
+    """Enumerate the test's behaviors under ``model`` and judge the condition.
+
+    With a budget-limited enumeration the verdict is judged over the
+    partial behavior set and flagged ``complete=False``; ``strict=True``
+    raises instead of degrading."""
     if isinstance(model, str):
         model = get_model(model)
-    result = enumerate_behaviors(test.program, model, limits)
+    result = enumerate_behaviors(test.program, model, limits, strict=strict)
 
     locations = test.condition.locations()
     total_pairs = 0
@@ -68,6 +75,7 @@ def run_litmus(
         holds=test.condition.judge(satisfied, total_pairs),
         expected=test.expectation(model.name),
         result=result,
+        complete=result.complete,
     )
 
 
@@ -75,12 +83,13 @@ def run_matrix(
     tests: list[LitmusTest],
     model_names: tuple[str, ...],
     limits: EnumerationLimits | None = None,
+    strict: bool = False,
 ) -> list[LitmusVerdict]:
     """Run every test under every model (the TAB-LITMUS experiment)."""
     verdicts = []
     for test in tests:
         for name in model_names:
-            verdicts.append(run_litmus(test, name, limits))
+            verdicts.append(run_litmus(test, name, limits, strict=strict))
     return verdicts
 
 
@@ -96,6 +105,8 @@ def format_matrix(verdicts: list[LitmusVerdict]) -> str:
         if verdict.model.name not in models:
             models.append(verdict.model.name)
         text = "Yes" if verdict.holds else "No"
+        if not verdict.complete:
+            text += "~"  # judged over a budget-limited partial behavior set
         if verdict.matches_expectation is False:
             text += "!"
         cells[(verdict.test.name, verdict.model.name)] = text

@@ -1,0 +1,19 @@
+"""Testing support: deterministic fault injection for the engine."""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultStats,
+    InjectedAtomicityViolation,
+    InjectedCycleError,
+    InjectedMemoryError,
+    inject_faults,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultStats",
+    "InjectedAtomicityViolation",
+    "InjectedCycleError",
+    "InjectedMemoryError",
+    "inject_faults",
+]

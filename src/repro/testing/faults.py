@@ -1,0 +1,192 @@
+"""Deterministic (seeded) fault injection for the enumeration engine.
+
+The enumerator's resilience claims — speculation rollback never corrupts
+the ``seen_states``/``finished`` bookkeeping, and allocation pressure
+degrades into a labeled partial result — are only trustworthy if they
+are exercised.  :class:`FaultInjector` monkeypatches the three places a
+branch of Load Resolution can fail:
+
+* **graph insertion** (:meth:`ExecutionGraph.add_edge`),
+* **the Store Atomicity closure** (:func:`close_store_atomicity` as used
+  by :mod:`repro.core.execution`),
+* **load resolution itself** (:meth:`Execution.resolve_load`),
+
+raising :class:`InjectedCycleError` / :class:`InjectedAtomicityViolation`
+/ :class:`InjectedMemoryError` with a seeded per-call probability.  The
+injected types *are* the engine's real failure types, so the engine's
+rollback and degradation paths handle them identically to organic
+failures.
+
+Injection is scoped to calls made **during** ``resolve_load``: the
+enumerator has explicit rollback handling there, whereas a fault during
+initial graph construction would (correctly) surface as an engine error.
+
+Usage::
+
+    with inject_faults(seed=7, rate=0.05) as injector:
+        result = enumerate_behaviors(program, model)
+    assert result.complete or result.reason is not None
+    print(injector.stats)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import AtomicityViolation, CycleError
+import repro.core.execution as _execution_module
+from repro.core.execution import Execution
+from repro.core.graph import ExecutionGraph
+
+#: Injection sites, in the order the engine reaches them.
+SITES = ("graph", "closure", "resolve")
+
+#: Fault kinds an injector may raise.
+KINDS = ("cycle", "atomicity", "memory")
+
+
+class InjectedCycleError(CycleError):
+    """A deterministically injected graph-insertion cycle fault."""
+
+    transient = True
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        Exception.__init__(self, f"injected cycle fault at site {site!r}")
+
+
+class InjectedAtomicityViolation(AtomicityViolation):
+    """A deterministically injected Store Atomicity closure fault."""
+
+    transient = True
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        super().__init__(f"injected atomicity fault at site {site!r}")
+
+
+class InjectedMemoryError(MemoryError):
+    """A deterministically injected allocation failure."""
+
+    transient = True
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        super().__init__(f"injected memory fault at site {site!r}")
+
+
+_EXCEPTION_BY_KIND = {
+    "cycle": InjectedCycleError,
+    "atomicity": InjectedAtomicityViolation,
+    "memory": InjectedMemoryError,
+}
+
+
+@dataclass
+class FaultStats:
+    """What an injector actually did: calls seen and faults raised."""
+
+    calls: dict[str, int] = field(default_factory=lambda: {site: 0 for site in SITES})
+    injected: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+
+class FaultInjector:
+    """Context manager injecting seeded faults into the engine.
+
+    ``rate`` is the per-eligible-call fault probability; ``kinds`` and
+    ``sites`` restrict what is raised and where.  ``max_faults`` caps the
+    total number of injections (None = unlimited).  The same seed always
+    produces the same fault sequence for the same workload, so failures
+    found by a fuzzing sweep replay exactly.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rate: float = 0.01,
+        kinds: tuple[str, ...] = KINDS,
+        sites: tuple[str, ...] = SITES,
+        max_faults: int | None = None,
+    ) -> None:
+        unknown = set(kinds) - set(KINDS) | set(sites) - set(SITES)
+        if unknown:
+            raise ValueError(f"unknown fault kinds/sites: {sorted(unknown)}")
+        self.rate = rate
+        self.kinds = tuple(kinds)
+        self.sites = tuple(sites)
+        self.max_faults = max_faults
+        self.stats = FaultStats()
+        self._rng = random.Random(seed)
+        self._depth = 0  # >0 while inside resolve_load (the injection scope)
+        self._originals: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+
+    def _maybe_inject(self, site: str) -> None:
+        if self._depth == 0 or site not in self.sites:
+            return
+        self.stats.calls[site] += 1
+        if self.max_faults is not None and self.stats.total_injected >= self.max_faults:
+            return
+        if self._rng.random() >= self.rate:
+            return
+        kind = self._rng.choice(self.kinds)
+        key = (site, kind)
+        self.stats.injected[key] = self.stats.injected.get(key, 0) + 1
+        raise _EXCEPTION_BY_KIND[kind](site)
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "FaultInjector":
+        injector = self
+        original_add_edge = ExecutionGraph.add_edge
+        original_closure = _execution_module.close_store_atomicity
+        original_resolve = Execution.resolve_load
+        self._originals = {
+            "add_edge": original_add_edge,
+            "closure": original_closure,
+            "resolve": original_resolve,
+        }
+
+        def patched_add_edge(self, *args, **kwargs):
+            injector._maybe_inject("graph")
+            return original_add_edge(self, *args, **kwargs)
+
+        def patched_closure(*args, **kwargs):
+            injector._maybe_inject("closure")
+            return original_closure(*args, **kwargs)
+
+        def patched_resolve(self, *args, **kwargs):
+            injector._depth += 1
+            try:
+                injector._maybe_inject("resolve")
+                return original_resolve(self, *args, **kwargs)
+            finally:
+                injector._depth -= 1
+
+        ExecutionGraph.add_edge = patched_add_edge
+        _execution_module.close_store_atomicity = patched_closure
+        Execution.resolve_load = patched_resolve
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        ExecutionGraph.add_edge = self._originals["add_edge"]
+        _execution_module.close_store_atomicity = self._originals["closure"]
+        Execution.resolve_load = self._originals["resolve"]
+        self._originals = {}
+
+
+def inject_faults(
+    seed: int = 0,
+    rate: float = 0.01,
+    kinds: tuple[str, ...] = KINDS,
+    sites: tuple[str, ...] = SITES,
+    max_faults: int | None = None,
+) -> FaultInjector:
+    """Convenience constructor mirroring :class:`FaultInjector`."""
+    return FaultInjector(seed=seed, rate=rate, kinds=kinds, sites=sites, max_faults=max_faults)

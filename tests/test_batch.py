@@ -1,0 +1,158 @@
+"""Tests for the hardened experiment batch layer: per-experiment
+isolation, deadlines, transient retry, and ERROR quarantine."""
+
+import time
+import types
+import warnings
+
+from repro.errors import StuckBehaviorWarning
+from repro.experiments.base import (
+    ExperimentOutcome,
+    ExperimentResult,
+    is_transient,
+    run_isolated,
+)
+from repro.experiments.report import FullReport, to_markdown
+
+
+def _module(name, run):
+    module = types.SimpleNamespace(run=run)
+    module.__name__ = name
+    return module
+
+
+def _passing_result():
+    result = ExperimentResult("OK1", "a passing experiment")
+    result.claim("trivial", 1, 1)
+    return result
+
+
+class TestRunIsolated:
+    def test_passing_experiment(self):
+        outcome = run_isolated(_module("ok", _passing_result))
+        assert outcome.status == "PASS" and outcome.passed
+        assert outcome.result is not None
+        assert outcome.attempts == 1
+
+    def test_failing_claims_become_fail(self):
+        def run():
+            result = ExperimentResult("BAD", "claims disagree")
+            result.claim("wrong", 1, 2)
+            return result
+
+        outcome = run_isolated(_module("bad", run))
+        assert outcome.status == "FAIL" and not outcome.passed
+        assert outcome.result is not None
+
+    def test_crash_is_quarantined_with_traceback(self):
+        def run():
+            raise ValueError("experiment exploded")
+
+        outcome = run_isolated(_module("boom", run))
+        assert outcome.status == "ERROR"
+        assert outcome.result is None
+        assert "experiment exploded" in outcome.error
+        assert "Traceback" in outcome.error
+        assert "ERROR" in outcome.summary()
+
+    def test_deadline_quarantines_hang(self):
+        def run():
+            time.sleep(5)
+
+        start = time.monotonic()
+        outcome = run_isolated(_module("hang", run), deadline_seconds=0.2)
+        assert time.monotonic() - start < 2
+        assert outcome.status == "ERROR"
+        assert "deadline" in outcome.error
+
+    def test_transient_failure_retried_once(self):
+        calls = []
+
+        def run():
+            calls.append(1)
+            if len(calls) == 1:
+                raise MemoryError("transient pressure")
+            return _passing_result()
+
+        outcome = run_isolated(_module("flaky", run))
+        assert outcome.status == "PASS"
+        assert outcome.attempts == 2
+        assert len(calls) == 2
+
+    def test_persistent_failure_not_retried_forever(self):
+        calls = []
+
+        def run():
+            calls.append(1)
+            raise MemoryError("always failing")
+
+        outcome = run_isolated(_module("dead", run), retries=1)
+        assert outcome.status == "ERROR"
+        assert len(calls) == 2  # one retry, then quarantine
+
+    def test_non_transient_failure_not_retried(self):
+        calls = []
+
+        def run():
+            calls.append(1)
+            raise ValueError("deterministic bug")
+
+        outcome = run_isolated(_module("det", run))
+        assert outcome.status == "ERROR"
+        assert len(calls) == 1
+
+    def test_stuck_warning_becomes_fail_note(self):
+        def run():
+            warnings.warn(StuckBehaviorWarning("2 behavior(s) got stuck"))
+            return _passing_result()
+
+        outcome = run_isolated(_module("stuckexp", run))
+        assert outcome.status == "FAIL"  # an engine bug demotes the pass
+        assert any("stuck" in note for note in outcome.notes)
+        assert "FAIL-NOTE" in outcome.summary()
+
+
+class TestTransientClassification:
+    def test_classes(self):
+        assert is_transient(MemoryError())
+        assert is_transient(OSError())
+        assert not is_transient(ValueError())
+
+    def test_flagged_exceptions(self):
+        exc = ValueError("flagged")
+        exc.transient = True
+        assert is_transient(exc)
+
+
+class TestFullReport:
+    def test_accepts_plain_results_for_compat(self):
+        report = FullReport([_passing_result()])
+        assert report.passed
+        assert len(report.results) == 1
+        assert "ALL EXPERIMENTS PASS" in to_markdown(report)
+
+    def test_error_rows_render_in_markdown(self):
+        def run():
+            raise RuntimeError("kaboom")
+
+        error_outcome = run_isolated(_module("boom", run))
+        report = FullReport([ExperimentOutcome.from_result(_passing_result()), error_outcome])
+        assert not report.passed
+        assert len(report.errors) == 1
+        markdown = to_markdown(report)
+        assert "FAILURES PRESENT" in markdown
+        assert "[ERROR]" in markdown
+        assert "kaboom" in markdown
+        assert "quarantined" in markdown
+        # the passing experiment still rendered normally
+        assert "## OK1 — a passing experiment [PASS]" in markdown
+
+    def test_batch_continues_past_error(self):
+        """One pathological experiment must not abort the batch."""
+        modules = [
+            _module("a", _passing_result),
+            _module("b", lambda: (_ for _ in ()).throw(RuntimeError("die"))),
+            _module("c", _passing_result),
+        ]
+        outcomes = [run_isolated(m) for m in modules]
+        assert [o.status for o in outcomes] == ["PASS", "ERROR", "PASS"]

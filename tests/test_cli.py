@@ -65,6 +65,52 @@ class TestEnumerate:
         assert main(["enumerate", "SB", "-m", "sc", "--graphs", "1"]) == 0
         assert "thread 0:" in capsys.readouterr().out
 
+    def test_missing_test_and_resume_is_an_error(self, capsys):
+        assert main(["enumerate", "-m", "weak"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def test_budgeted_enumerate_reports_partial(self, capsys):
+        assert main(["enumerate", "WRC", "-m", "weak", "--max-behaviors", "5"]) == 0
+        assert "partial (behavior-budget)" in capsys.readouterr().out
+
+    def test_strict_budget_raises_to_error_exit(self, capsys):
+        code = main(
+            ["enumerate", "WRC", "-m", "weak", "--max-behaviors", "5", "--strict"]
+        )
+        assert code == 2
+        assert "exceeded 5 explored behaviors" in capsys.readouterr().err
+
+    def test_checkpoint_and_resume_roundtrip(self, tmp_path, capsys):
+        checkpoint = tmp_path / "wrc.ckpt"
+        assert (
+            main(
+                [
+                    "enumerate",
+                    "WRC",
+                    "-m",
+                    "weak",
+                    "--max-behaviors",
+                    "5",
+                    "--checkpoint",
+                    str(checkpoint),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote checkpoint" in out
+        assert checkpoint.exists()
+        assert main(["enumerate", "--resume", str(checkpoint)]) == 0
+        resumed = capsys.readouterr().out
+        assert "[complete]" in resumed
+        assert "8 distinct executions" in resumed
+
+    def test_deadline_flag_on_run(self, capsys):
+        assert main(["run", "SB", "-m", "sc", "--deadline", "1000"]) == 0
+        assert "PARTIAL" not in capsys.readouterr().out
+
 
 class TestMatrix:
     def test_subset(self, capsys):

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.errors import EnumerationError
-from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
+from repro.core.enumerate import (
+    EnumerationLimits,
+    ExhaustionReason,
+    enumerate_behaviors,
+)
 from repro.isa.dsl import ProgramBuilder
 from repro.models.registry import get_model
 
@@ -69,17 +73,48 @@ class TestDeduplication:
 
 
 class TestLimits:
-    def test_execution_limit_enforced(self, sb_program, weak):
+    def test_execution_limit_enforced_strict(self, sb_program, weak):
         with pytest.raises(EnumerationError):
             enumerate_behaviors(
-                sb_program, weak, EnumerationLimits(max_executions=1)
+                sb_program, weak, EnumerationLimits(max_executions=1), strict=True
             )
 
-    def test_behavior_limit_enforced(self, sb_program, weak):
+    def test_behavior_limit_enforced_strict(self, sb_program, weak):
         with pytest.raises(EnumerationError):
             enumerate_behaviors(
-                sb_program, weak, EnumerationLimits(max_behaviors=2)
+                sb_program, weak, EnumerationLimits(max_behaviors=2), strict=True
             )
+
+    def test_execution_limit_degrades_by_default(self, sb_program, weak):
+        result = enumerate_behaviors(
+            sb_program, weak, EnumerationLimits(max_executions=1)
+        )
+        assert not result.complete
+        assert result.reason is ExhaustionReason.EXECUTION_BUDGET
+        assert len(result) == 1  # the budget is an exact upper bound
+
+    def test_behavior_limit_is_exact_upper_bound(self, sb_program, weak):
+        """Regression for the historical off-by-one: the old code only
+        raised after exploring N+1 behaviors and kept N+1 executions."""
+        for budget in (1, 2, 5):
+            result = enumerate_behaviors(
+                sb_program, weak, EnumerationLimits(max_behaviors=budget)
+            )
+            assert result.stats.explored == budget
+            assert result.reason is ExhaustionReason.BEHAVIOR_BUDGET
+
+    def test_budget_equal_to_need_is_complete(self, sb_program, weak):
+        """A budget exactly matching the search's need does not trigger."""
+        full = enumerate_behaviors(sb_program, weak)
+        result = enumerate_behaviors(
+            sb_program,
+            weak,
+            EnumerationLimits(
+                max_behaviors=full.stats.explored, max_executions=len(full)
+            ),
+        )
+        assert result.complete and result.reason is None
+        assert len(result) == len(full)
 
     def test_node_limit_drops_runaway_branches(self):
         """A spin loop bounded only by the node limit terminates with

@@ -1,0 +1,138 @@
+"""Fault-injection suite: seeded engine faults must never escape the
+enumerator, corrupt its bookkeeping, or invent behaviors."""
+
+import pytest
+
+from repro.errors import AtomicityViolation, CycleError
+from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
+from repro.core.graph import ExecutionGraph
+from repro.models.registry import get_model
+from repro.testing import (
+    FaultInjector,
+    InjectedAtomicityViolation,
+    InjectedCycleError,
+    InjectedMemoryError,
+    inject_faults,
+)
+
+from tests.conftest import build_mp, build_sb
+
+
+class TestInjectedExceptionTypes:
+    def test_injected_faults_are_engine_types(self):
+        """The injector raises the engine's own failure types, so the
+        rollback paths treat them identically to organic failures."""
+        assert issubclass(InjectedCycleError, CycleError)
+        assert issubclass(InjectedAtomicityViolation, AtomicityViolation)
+        assert issubclass(InjectedMemoryError, MemoryError)
+        assert InjectedCycleError("graph").transient
+        assert InjectedMemoryError("resolve").transient
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(kinds=("segfault",))
+        with pytest.raises(ValueError):
+            FaultInjector(sites=("network",))
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self):
+        program = build_sb()
+        weak = get_model("weak")
+        runs = []
+        for _ in range(2):
+            with inject_faults(seed=42, rate=0.1) as injector:
+                result = enumerate_behaviors(program, weak)
+            runs.append((dict(injector.stats.injected), result.register_outcomes()))
+        assert runs[0] == runs[1]
+
+    def test_patching_is_reversible(self):
+        original = ExecutionGraph.add_edge
+        with inject_faults(seed=0, rate=1.0):
+            assert ExecutionGraph.add_edge is not original
+        assert ExecutionGraph.add_edge is original
+        # the engine works normally again
+        assert len(enumerate_behaviors(build_sb(), get_model("weak"))) == 4
+
+
+class TestTwoHundredSeededRuns:
+    """The ISSUE acceptance bar: 200 seeded runs with injected
+    graph/closure/resolution faults all terminate with either a complete
+    result or a labeled partial result — never an unhandled exception."""
+
+    def test_sb_weak_200_seeds(self):
+        program = build_sb()
+        weak = get_model("weak")
+        clean = enumerate_behaviors(program, weak).register_outcomes()
+        saw_injection = False
+        for seed in range(200):
+            with inject_faults(seed=seed, rate=0.05) as injector:
+                result = enumerate_behaviors(program, weak)
+            saw_injection |= injector.stats.total_injected > 0
+            assert result.complete or result.reason is not None, seed
+            assert result.stats.consistent(), (seed, result.stats)
+            # faults only prune branches: no invented behaviors
+            assert result.register_outcomes() <= clean, seed
+            # kept executions are genuinely finished
+            assert all(e.completed() for e in result.executions), seed
+        assert saw_injection, "the sweep never injected a fault"
+
+    def test_rollback_faults_leave_complete_results(self):
+        """Cycle/atomicity faults hit branches the enumerator already
+        rolls back, so the search still terminates (complete), only with
+        possibly fewer behaviors."""
+        program = build_mp()
+        weak = get_model("weak")
+        for seed in range(50):
+            with inject_faults(
+                seed=seed, rate=0.1, kinds=("cycle", "atomicity")
+            ) as injector:
+                result = enumerate_behaviors(program, weak)
+            assert result.complete, seed
+            if injector.stats.total_injected:
+                assert result.stats.rolled_back > 0, seed
+
+    def test_memory_faults_degrade_with_label(self):
+        """An allocation failure mid-branch stops the search with an
+        honestly-labeled, resumable partial result."""
+        program = build_sb()
+        weak = get_model("weak")
+        labelled = 0
+        for seed in range(50):
+            with inject_faults(seed=seed, rate=0.2, kinds=("memory",)) as injector:
+                result = enumerate_behaviors(program, weak)
+            if injector.stats.total_injected:
+                assert not result.complete, seed
+                assert result.reason is not None, seed
+                assert result.checkpoint is not None, seed
+                labelled += 1
+        assert labelled > 0
+
+    def test_memory_fault_checkpoint_resumes_clean(self):
+        """After the fault passes, resuming the checkpoint reaches the
+        full behavior set."""
+        from repro.core.enumerate import resume_enumeration
+
+        program = build_sb()
+        weak = get_model("weak")
+        clean = enumerate_behaviors(program, weak).register_outcomes()
+        with inject_faults(seed=3, rate=0.3, kinds=("memory",)) as injector:
+            partial = enumerate_behaviors(program, weak)
+        assert injector.stats.total_injected > 0 and not partial.complete
+        resumed = resume_enumeration(partial.checkpoint)
+        assert resumed.complete
+        assert resumed.register_outcomes() == clean
+
+    def test_strict_mode_raises_on_memory_fault(self):
+        from repro.errors import EnumerationError
+
+        program = build_sb()
+        weak = get_model("weak")
+        with inject_faults(seed=3, rate=0.3, kinds=("memory",)):
+            with pytest.raises(EnumerationError):
+                enumerate_behaviors(program, weak, strict=True)
+
+    def test_max_faults_cap(self):
+        with inject_faults(seed=1, rate=1.0, max_faults=2) as injector:
+            enumerate_behaviors(build_sb(), get_model("weak"))
+        assert injector.stats.total_injected <= 2
