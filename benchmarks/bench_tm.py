@@ -2,8 +2,6 @@
 
 from repro.experiments.tm_exp import COUNTER_BLOCKS, build_counter
 from repro.tm import enumerate_transactional, transactional_witness
-from repro.core.enumerate import enumerate_behaviors
-from repro.models.registry import get_model
 
 _COUNTER = build_counter()
 

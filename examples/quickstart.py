@@ -9,7 +9,7 @@ classic "both loads miss" relaxed outcome, and one execution graph.
 Run:  python examples/quickstart.py
 """
 
-from repro import ProgramBuilder, assemble, enumerate_behaviors, get_model
+from repro import ProgramBuilder, enumerate_behaviors, get_model
 from repro.litmus import litmus_from_source, run_litmus
 from repro.viz import render
 

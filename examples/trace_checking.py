@@ -17,7 +17,7 @@ enumerator) rejects.
 Run:  python examples/trace_checking.py
 """
 
-from repro.analysis.tracecheck import Trace, TraceOp, check_trace
+from repro.analysis.tracecheck import TraceOp, check_trace
 from repro.experiments.tracecheck_exp import (
     build_double_fig5_program,
     double_fig5_trace,

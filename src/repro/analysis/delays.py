@@ -20,7 +20,7 @@ minimal-fence synthesis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ProgramError
 from repro.isa.instructions import Fence, OpClass

@@ -16,7 +16,7 @@ TAB-FENCESYNTH experiment pins those down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
 
 from repro.core.enumerate import EnumerationLimits, enumerate_behaviors

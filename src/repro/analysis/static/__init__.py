@@ -1,0 +1,49 @@
+"""Static analysis: answers without enumeration.
+
+This package predicts ordering facts directly from a program's conflict
+graph and a model's :class:`~repro.models.base.ReorderingTable` — the
+Shasha & Snir observation the paper leans on in §7: only program-order
+edges involved in potential critical cycles must be enforced.
+
+* :mod:`repro.analysis.static.conflict` — the conflict-graph /
+  critical-cycle analyzer: statically-predicted races, required delay
+  edges per model, suggested fence sites.
+* :mod:`repro.analysis.static.modellint` — the model-spec linter:
+  soundness audits of reordering tables (coherence, SC-containment,
+  RMW expansion, fence power) and the static containment lattice
+  between registered models.
+
+Every verdict here is an *over-approximation* of the enumerator's
+dynamic answer; the TAB-STATIC experiment cross-validates the two on
+the whole litmus library (soundness asserted, precision reported).
+"""
+
+from repro.analysis.static.conflict import (
+    DelayEdge,
+    RacePrediction,
+    StaticAccess,
+    StaticReport,
+    analyze_program,
+)
+from repro.analysis.static.modellint import (
+    ModelLintFinding,
+    canonical_chain_findings,
+    effective_requirement,
+    lint_all_models,
+    lint_model,
+    statically_contained,
+)
+
+__all__ = [
+    "DelayEdge",
+    "RacePrediction",
+    "StaticAccess",
+    "StaticReport",
+    "analyze_program",
+    "ModelLintFinding",
+    "canonical_chain_findings",
+    "effective_requirement",
+    "lint_all_models",
+    "lint_model",
+    "statically_contained",
+]

@@ -1,0 +1,426 @@
+"""Model-aware conflict-graph and critical-cycle analysis.
+
+The dynamic analyses (`wellsync`, `fencesynth`, `compare`) answer
+ordering questions by running the exponential enumerator.  This module
+answers the same questions *statically*, in polynomial time, from two
+ingredients:
+
+* the **conflict graph** of a :class:`~repro.isa.program.Program` —
+  program-order edges within threads, conflict edges between
+  same-location cross-thread accesses where at least one writes,
+* the model's :class:`~repro.models.base.ReorderingTable`, which decides
+  which program-order edges the hardware already **enforces** (directly,
+  through fences/acquire-release, via register dataflow, or
+  transitively).
+
+Following Shasha & Snir (paper §7), a relaxed outcome requires a
+*critical cycle* — a minimal cycle alternating program-order and
+conflict edges — in which **every** program-order edge left unenforced
+by the model is simultaneously relaxed.  Hence:
+
+* **required delay edges** under a model = the unenforced program-order
+  pairs appearing in some critical cycle (all of them must be fenced to
+  forbid the cycle's outcome),
+* **suggested fence sites** = the insertion gaps covering those pairs,
+* **predicted races** = conflict edges with a read side (a load whose
+  value can come from more than one store).
+
+All three are sound over-approximations of the enumerator's verdicts:
+branches and register-computed addresses are handled conservatively
+(every access may execute, a dynamic address may alias anything), and
+enforcement is only claimed when the table, a fence chain, or a
+definite dataflow chain proves it.  TAB-STATIC cross-validates this
+against `wellsync` and `fencesynth` on the whole litmus library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Branch, OpClass
+from repro.isa.operands import Const
+from repro.isa.program import Program, Thread
+from repro.models.base import MemoryModel, OrderRequirement
+from repro.models.registry import get_model
+
+
+@dataclass(frozen=True)
+class StaticAccess:
+    """One static memory access.  ``location`` is None when the address
+    is register-computed (conservatively aliases every location)."""
+
+    thread: str
+    index: int  #: static instruction index within the thread
+    kind: str  #: "R", "W", or "RW" (an RMW is both)
+    location: str | None
+
+    def reads(self) -> bool:
+        return "R" in self.kind
+
+    def writes(self) -> bool:
+        return "W" in self.kind
+
+    def may_alias(self, other: "StaticAccess") -> bool:
+        if self.location is None or other.location is None:
+            return True
+        return self.location == other.location
+
+    def __str__(self) -> str:
+        where = self.location if self.location is not None else "?"
+        return f"{self.thread}[{self.index}]:{self.kind}{where}"
+
+
+@dataclass(frozen=True, order=True)
+class DelayEdge:
+    """A program-order pair in a critical cycle that the model does not
+    enforce — it must be fenced to forbid the cycle's outcome."""
+
+    thread: str
+    first_index: int
+    second_index: int
+
+    def covers(self, position: int) -> bool:
+        """Whether a fence inserted before ``position`` orders this pair."""
+        return self.first_index < position <= self.second_index
+
+    def __str__(self) -> str:
+        return f"{self.thread}[{self.first_index} -> {self.second_index}]"
+
+
+@dataclass(frozen=True)
+class RacePrediction:
+    """A load whose value may come from more than one store."""
+
+    thread: str
+    index: int
+    location: str | None
+    stores: tuple[StaticAccess, ...]  #: the conflicting writers
+
+    def __str__(self) -> str:
+        where = self.location if self.location is not None else "?"
+        writers = ", ".join(str(s) for s in self.stores)
+        return (
+            f"load of {where!r} at {self.thread}[{self.index}] races with "
+            f"{len(self.stores)} store(s): {writers}"
+        )
+
+
+@dataclass(frozen=True)
+class SuggestedFence:
+    """A fence insertion gap (before instruction ``position``) covering
+    at least one required delay edge."""
+
+    thread: str
+    position: int
+
+    def __str__(self) -> str:
+        return f"{self.thread}@{self.position}"
+
+
+@dataclass
+class StaticReport:
+    """The static verdicts for one program under one model."""
+
+    program_name: str
+    model_name: str
+    accesses: tuple[StaticAccess, ...]
+    critical_cycles: tuple[tuple[StaticAccess, ...], ...]
+    live_cycles: tuple[tuple[StaticAccess, ...], ...]  #: cycles with a relaxed po edge
+    races: tuple[RacePrediction, ...]
+    delays: tuple[DelayEdge, ...]
+    fence_sites: tuple[SuggestedFence, ...]
+    conservative: bool  #: branches/dynamic addresses forced over-approximation
+
+    def predicts_race(self, thread: str, location: str) -> bool:
+        """Whether some predicted race could be the dynamic race observed
+        on ``location`` in ``thread`` (a None location matches anything)."""
+        return any(
+            race.thread == thread
+            and (race.location is None or race.location == location)
+            for race in self.races
+        )
+
+    def covers_site(self, thread: str, position: int) -> bool:
+        """Whether a fence at this insertion gap enforces a required
+        delay edge (i.e. the site is statically predicted useful)."""
+        return any(
+            delay.thread == thread and delay.covers(position) for delay in self.delays
+        )
+
+    def summary(self) -> str:
+        caveat = " [conservative: branches or dynamic addresses]" if self.conservative else ""
+        lines = [
+            f"{self.program_name} under {self.model_name}: "
+            f"{len(self.critical_cycles)} critical cycle(s), "
+            f"{len(self.live_cycles)} live, {len(self.races)} predicted race(s), "
+            f"{len(self.delays)} required delay edge(s){caveat}"
+        ]
+        for cycle in self.live_cycles[:6]:
+            lines.append("  cycle: " + " -> ".join(str(a) for a in cycle))
+        if len(self.live_cycles) > 6:
+            lines.append(f"  ... and {len(self.live_cycles) - 6} more")
+        for race in self.races[:6]:
+            lines.append(f"  race: {race}")
+        if len(self.races) > 6:
+            lines.append(f"  ... and {len(self.races) - 6} more")
+        if self.delays:
+            lines.append(
+                "  delay edges: " + ", ".join(str(d) for d in self.delays)
+            )
+            lines.append(
+                "  suggested fences: "
+                + ", ".join(str(s) for s in self.fence_sites)
+            )
+        else:
+            lines.append("  no fences required")
+        return "\n".join(lines)
+
+
+def _static_location(instruction) -> str | None:
+    addr = instruction.addr_operand()
+    if isinstance(addr, Const) and isinstance(addr.value, str):
+        return addr.value
+    return None
+
+
+def collect_accesses(program: Program) -> tuple[StaticAccess, ...]:
+    """All static memory accesses, conservatively assuming every one may
+    execute (branches are not resolved statically)."""
+    accesses = []
+    for thread in program.threads:
+        for index, instruction in enumerate(thread.code):
+            if not instruction.op_class.is_memory():
+                continue
+            if instruction.op_class is OpClass.RMW:
+                kind = "RW"
+            elif instruction.op_class.writes_memory():
+                kind = "W"
+            else:
+                kind = "R"
+            accesses.append(
+                StaticAccess(thread.name, index, kind, _static_location(instruction))
+            )
+    return tuple(accesses)
+
+
+def _dataflow_edges(thread: Thread) -> set[tuple[int, int]]:
+    """Definite register-dependency edges (writer -> reader) within a
+    straight-line thread.  Register dataflow always orders instructions
+    (the tables' implicit "indep" entries), but only the *last* writer
+    before a reader is a definite dependency — and only when no branch
+    can reroute control between them, so branchy threads contribute
+    nothing here (their ordering comes from table entries alone)."""
+    if any(isinstance(instruction, Branch) for instruction in thread.code):
+        return set()
+    edges: set[tuple[int, int]] = set()
+    last_writer: dict[str, int] = {}
+    for index, instruction in enumerate(thread.code):
+        for register in instruction.sources():
+            if register.name in last_writer:
+                edges.add((last_writer[register.name], index))
+        destination = instruction.dest()
+        if destination is not None:
+            last_writer[destination.name] = index
+    return edges
+
+
+def enforced_order(thread: Thread, model: MemoryModel) -> list[list[bool]]:
+    """The per-thread enforced partial order: ``matrix[i][j]`` (i < j) is
+    True when the model definitely keeps instruction ``i`` ordered before
+    instruction ``j`` in every execution — by a table entry, a fence or
+    acquire/release annotation, a definite dataflow edge, or a
+    transitive chain of those."""
+    size = len(thread.code)
+    matrix = [[False] * size for _ in range(size)]
+    for i in range(size):
+        for j in range(i + 1, size):
+            requirement = model.requirement(thread.code[i], thread.code[j])
+            if requirement is OrderRequirement.ALWAYS:
+                matrix[i][j] = True
+            elif requirement is OrderRequirement.SAME_ADDRESS:
+                first = _static_location(thread.code[i])
+                second = _static_location(thread.code[j])
+                matrix[i][j] = first is not None and first == second
+    for i, j in _dataflow_edges(thread):
+        matrix[i][j] = True
+    # Transitive closure: ordered-before is transitive across the chain.
+    for k in range(size):
+        for i in range(k):
+            if matrix[i][k]:
+                row_k = matrix[k]
+                row_i = matrix[i]
+                for j in range(k + 1, size):
+                    if row_k[j]:
+                        row_i[j] = True
+    return matrix
+
+
+def _conflicting(a: StaticAccess, b: StaticAccess) -> bool:
+    return a.thread != b.thread and a.may_alias(b) and (a.writes() or b.writes())
+
+
+def find_critical_cycles(
+    program: Program,
+    accesses: tuple[StaticAccess, ...] | None = None,
+    max_cycles: int = 10_000,
+) -> tuple[tuple[StaticAccess, ...], ...]:
+    """All minimal critical cycles of the conflict graph: simple cycles
+    over program-order + conflict edges, at most two accesses per thread
+    and three per location, never immediately backtracking a conflict
+    edge.  Unlike :func:`repro.analysis.delays.find_critical_cycles`,
+    this handles branches and dynamic addresses conservatively."""
+    accesses = collect_accesses(program) if accesses is None else accesses
+    cycles: list[tuple[StaticAccess, ...]] = []
+    seen: set[frozenset[StaticAccess]] = set()
+    order = {access: position for position, access in enumerate(accesses)}
+
+    def successors(current: StaticAccess, came_by_conflict_from: StaticAccess | None):
+        for candidate in accesses:
+            if candidate is current:
+                continue
+            if candidate.thread == current.thread:
+                if candidate.index > current.index:
+                    yield candidate, "po"
+            elif _conflicting(current, candidate):
+                if came_by_conflict_from is not None and candidate is came_by_conflict_from:
+                    continue  # no immediate backtracking
+                yield candidate, "conflict"
+
+    def extend(path: list[StaticAccess], kinds: list[str], start: StaticAccess) -> None:
+        if len(cycles) >= max_cycles:
+            return
+        current = path[-1]
+        came_from = path[-2] if kinds and kinds[-1] == "conflict" else None
+        for nxt, kind in successors(current, came_from):
+            if nxt is start:
+                if len(path) >= 3 and "po" in kinds + [kind] and kind == "conflict":
+                    candidate = tuple(path)
+                    if _is_minimal(candidate) and frozenset(candidate) not in seen:
+                        seen.add(frozenset(candidate))
+                        cycles.append(candidate)
+                continue
+            if nxt in path:
+                continue
+            if order[nxt] < order[start]:
+                continue  # canonical start: smallest node first
+            extend(path + [nxt], kinds + [kind], start)
+
+    for start in accesses:
+        extend([start], [], start)
+    return tuple(cycles)
+
+
+def _is_minimal(cycle: tuple[StaticAccess, ...]) -> bool:
+    """Shasha–Snir minimality: at most two accesses per thread, at most
+    three per location (IRIW touches each location three times).  A
+    dynamic address counts against every location, keyed by itself."""
+    per_thread: dict[str, int] = {}
+    per_location: dict[str, int] = {}
+    for access in cycle:
+        per_thread[access.thread] = per_thread.get(access.thread, 0) + 1
+        key = access.location if access.location is not None else str(access)
+        per_location[key] = per_location.get(key, 0) + 1
+    if any(count > 2 for count in per_thread.values()):
+        return False
+    if any(count > 3 for count in per_location.values()):
+        return False
+    return True
+
+
+def _cycle_po_pairs(
+    cycle: tuple[StaticAccess, ...],
+) -> list[tuple[StaticAccess, StaticAccess]]:
+    pairs = []
+    extended = cycle + (cycle[0],)
+    for first, second in zip(extended, extended[1:]):
+        if first.thread == second.thread and first.index < second.index:
+            pairs.append((first, second))
+    return pairs
+
+
+def _predict_races(
+    accesses: tuple[StaticAccess, ...], model: MemoryModel
+) -> tuple[RacePrediction, ...]:
+    """Loads whose value may come from more than one store.
+
+    A cross-thread conflicting store always makes a load racy in some
+    interleaving (the initial store is the competing candidate).  Local
+    stores only add candidates when the model fails to keep same-address
+    Store→Load pairs ordered — the registered models all do (via the
+    x ≠ y entries or store-buffer forwarding), and the model linter
+    flags tables that don't."""
+    locally_coherent = model.store_load_bypass or (
+        model.class_requirement(OpClass.STORE, OpClass.LOAD)
+        >= OrderRequirement.SAME_ADDRESS
+    )
+    races = []
+    for access in accesses:
+        if not access.reads():
+            continue
+        remote = tuple(
+            other
+            for other in accesses
+            if other.thread != access.thread
+            and other.writes()
+            and access.may_alias(other)
+        )
+        local = ()
+        if not locally_coherent:
+            local = tuple(
+                other
+                for other in accesses
+                if other.thread == access.thread
+                and other.index != access.index
+                and other.writes()
+                and access.may_alias(other)
+            )
+        writers = remote + local
+        if writers:
+            races.append(
+                RacePrediction(access.thread, access.index, access.location, writers)
+            )
+    return tuple(races)
+
+
+def analyze_program(program: Program, model: MemoryModel | str) -> StaticReport:
+    """The full static analysis of ``program`` under ``model`` — no
+    enumeration anywhere on this path."""
+    if isinstance(model, str):
+        model = get_model(model)
+    accesses = collect_accesses(program)
+    cycles = find_critical_cycles(program, accesses)
+    enforced = {
+        thread.name: enforced_order(thread, model) for thread in program.threads
+    }
+
+    live: list[tuple[StaticAccess, ...]] = []
+    delays: set[DelayEdge] = set()
+    for cycle in cycles:
+        relaxed = [
+            (first, second)
+            for first, second in _cycle_po_pairs(cycle)
+            if not enforced[first.thread][first.index][second.index]
+        ]
+        if relaxed:
+            live.append(cycle)
+            for first, second in relaxed:
+                delays.add(DelayEdge(first.thread, first.index, second.index))
+
+    sites = sorted(
+        {SuggestedFence(delay.thread, delay.first_index + 1) for delay in delays},
+        key=lambda site: (site.thread, site.position),
+    )
+    conservative = program.has_branches() or any(
+        access.location is None for access in accesses
+    )
+    return StaticReport(
+        program_name=program.name,
+        model_name=model.name,
+        accesses=accesses,
+        critical_cycles=cycles,
+        live_cycles=tuple(live),
+        races=_predict_races(accesses, model),
+        delays=tuple(sorted(delays)),
+        fence_sites=tuple(sites),
+        conservative=conservative,
+    )

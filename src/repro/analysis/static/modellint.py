@@ -1,0 +1,241 @@
+"""Static soundness audits of memory-model specifications.
+
+A :class:`~repro.models.base.MemoryModel` is just data — a reordering
+table plus two atomicity flags — so it can be *linted* like a program:
+
+* **coherence / dependency breaking** — the same-address entries
+  (Store→Store, Load→Store, Store→Load) must be at least
+  ``SAME_ADDRESS``-ordered, or single-threaded execution becomes
+  nondeterministic (the paper's reason for the x ≠ y entries).  The
+  Figure 11 ``naive-tso`` strawman is deliberately flagged here.
+* **speculative stores** — a table without the Branch→Store ``never``
+  entry lets stores become visible under unresolved speculation
+  (out-of-thin-air risk); reported as a warning.
+* **SC containment** — every model must admit at least SC's behaviors
+  (everything a model forbids, SC forbids).
+* **RMW expansion** — an RMW must inherit at least the strongest
+  requirement of its Load and Store halves.
+* **fence power** — a full fence must order every prior and subsequent
+  memory class (and is reported as redundant when the table already
+  orders everything, as under SC).
+
+:func:`statically_contained` decides behavior-set inclusion between two
+models from tables and flags alone — the static face of the
+``SC ⊆ TSO ⊆ PSO ⊆ WEAK`` lattice that the enumerator checks
+dynamically (`repro.analysis.compare`, TAB-STATIC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import FenceKind, OpClass
+from repro.isa.lint import LintLevel
+from repro.models.base import MemoryModel, OrderRequirement
+from repro.models.registry import available_models, get_model
+
+#: Instruction classes compared pointwise (RMW included via expansion).
+_CLASSES = (OpClass.COMPUTE, OpClass.BRANCH, OpClass.LOAD, OpClass.STORE, OpClass.RMW)
+
+#: The canonical strength chain among the registered models, strongest
+#: first.  ``weak-corr`` and ``weak-spec`` hang off ``weak``;
+#: ``naive-tso`` is deliberately outside the lattice (Figure 11).
+CANONICAL_CHAIN = ("sc", "tso", "pso", "weak")
+
+#: The paper's model set, as seeded in the registry.  Audits that claim
+#: "only the Figure 11 strawman errors" quantify over these — not over
+#: whatever user-defined models happen to be registered at call time.
+PAPER_MODELS = ("naive-tso", "pso", "sc", "tso", "weak", "weak-corr", "weak-spec")
+
+
+@dataclass(frozen=True)
+class ModelLintFinding:
+    """One model-spec audit finding."""
+
+    level: LintLevel
+    model: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.level.value}: [{self.model}] {self.message}"
+
+
+def effective_requirement(
+    model: MemoryModel, first: OpClass, second: OpClass
+) -> OrderRequirement:
+    """The class-level requirement with store-buffer forwarding folded
+    in: a bypass model's Store→Load pair behaves as same-address-ordered
+    (the load forwards from the newest same-address local store, so
+    same-address coherence survives while cross-address order is
+    relaxed)."""
+    if (
+        model.store_load_bypass
+        and first is OpClass.STORE
+        and second is OpClass.LOAD
+    ):
+        return OrderRequirement.SAME_ADDRESS
+    return model.class_requirement(first, second)
+
+
+def statically_contained(
+    stronger: MemoryModel | str, weaker: MemoryModel | str
+) -> bool | None:
+    """Whether ``behaviors(stronger) ⊆ behaviors(weaker)`` is provable
+    from the tables and flags alone.
+
+    Returns True when provable, None when not statically decidable (the
+    enumerator must arbitrate).  The criterion: the stronger model's
+    effective requirement dominates pointwise, it introduces no
+    speculation the weaker lacks, and — if it forwards from a store
+    buffer — the weaker side either also forwards or keeps exactly
+    same-address Store→Load order (which subsumes forwarding outcomes
+    under Store Atomicity).  A fully relaxed Store→Load entry *without*
+    bypass is not a superset of forwarding (the Figure 11 lesson), so
+    such pairs are left undecided.
+    """
+    if isinstance(stronger, str):
+        stronger = get_model(stronger)
+    if isinstance(weaker, str):
+        weaker = get_model(weaker)
+    if stronger.speculative_aliasing and not weaker.speculative_aliasing:
+        return None
+    if stronger.store_load_bypass and not weaker.store_load_bypass:
+        if (
+            effective_requirement(weaker, OpClass.STORE, OpClass.LOAD)
+            is not OrderRequirement.SAME_ADDRESS
+        ):
+            return None
+    for first in _CLASSES:
+        for second in _CLASSES:
+            if effective_requirement(stronger, first, second) < effective_requirement(
+                weaker, first, second
+            ):
+                return None
+    return True
+
+
+#: The same-address pairs whose order keeps single-threaded execution
+#: deterministic (the paper's x ≠ y entries).
+_COHERENCE_PAIRS = (
+    (OpClass.STORE, OpClass.STORE),
+    (OpClass.LOAD, OpClass.STORE),
+    (OpClass.STORE, OpClass.LOAD),
+)
+
+
+def lint_model(model: MemoryModel | str) -> list[ModelLintFinding]:
+    """All audit findings for one model."""
+    if isinstance(model, str):
+        model = get_model(model)
+    findings: list[ModelLintFinding] = []
+
+    def report(level: LintLevel, message: str) -> None:
+        findings.append(ModelLintFinding(level, model.name, message))
+
+    for first, second in _COHERENCE_PAIRS:
+        if effective_requirement(model, first, second) < OrderRequirement.SAME_ADDRESS:
+            report(
+                LintLevel.ERROR,
+                f"same-address {first.value}->{second.value} pairs may reorder: "
+                f"dependency-breaking (single-threaded execution becomes "
+                f"nondeterministic)",
+            )
+
+    if (
+        effective_requirement(model, OpClass.BRANCH, OpClass.STORE)
+        < OrderRequirement.ALWAYS
+    ):
+        report(
+            LintLevel.WARNING,
+            "Branch->Store is reorderable: speculative stores become visible "
+            "before the branch resolves (out-of-thin-air risk)",
+        )
+
+    sc = get_model("sc")
+    if model.name != sc.name:
+        over_strict = [
+            f"{first.value}->{second.value}"
+            for first in _CLASSES
+            for second in _CLASSES
+            if effective_requirement(model, first, second)
+            > effective_requirement(sc, first, second)
+        ]
+        if over_strict:
+            report(
+                LintLevel.WARNING,
+                "not SC-contained: requires orderings SC does not "
+                f"({', '.join(over_strict)}) — something this model forbids, "
+                f"SC allows",
+            )
+
+    for other in (OpClass.LOAD, OpClass.STORE):
+        expanded = max(
+            model.class_requirement(half, other)
+            for half in (OpClass.LOAD, OpClass.STORE)
+        )
+        if model.class_requirement(OpClass.RMW, other) < expanded:
+            report(
+                LintLevel.ERROR,
+                f"RMW->{other.value} is weaker than the strongest of its "
+                f"Load/Store halves (inconsistent RMW expansion)",
+            )
+        expanded = max(
+            model.class_requirement(other, half)
+            for half in (OpClass.LOAD, OpClass.STORE)
+        )
+        if model.class_requirement(other, OpClass.RMW) < expanded:
+            report(
+                LintLevel.ERROR,
+                f"{other.value}->RMW is weaker than the strongest of its "
+                f"Load/Store halves (inconsistent RMW expansion)",
+            )
+
+    fence_orders = any(
+        FenceKind.FULL.orders_before(cls) or FenceKind.FULL.orders_after(cls)
+        for cls in (OpClass.LOAD, OpClass.STORE, OpClass.RMW)
+    ) and all(
+        model.class_requirement(OpClass.FENCE, cls) is OrderRequirement.ALWAYS
+        and model.class_requirement(cls, OpClass.FENCE) is OrderRequirement.ALWAYS
+        for cls in (OpClass.LOAD, OpClass.STORE, OpClass.RMW)
+    )
+    if not fence_orders:
+        report(
+            LintLevel.ERROR,
+            "a full fence fails to order some prior/subsequent memory class",
+        )
+    elif all(
+        effective_requirement(model, first, second) is OrderRequirement.ALWAYS
+        for first in (OpClass.LOAD, OpClass.STORE)
+        for second in (OpClass.LOAD, OpClass.STORE)
+    ):
+        report(
+            LintLevel.INFO,
+            "every memory pair is already ordered: fences are redundant",
+        )
+
+    return findings
+
+
+def lint_all_models() -> dict[str, list[ModelLintFinding]]:
+    """Audit every registered model."""
+    return {name: lint_model(name) for name in available_models()}
+
+
+def canonical_chain_findings() -> list[ModelLintFinding]:
+    """Monotonicity of the canonical lattice: each model in the chain
+    must statically contain the next (everything TSO forbids, SC
+    forbids, and so on), plus the ``weak`` variants."""
+    findings: list[ModelLintFinding] = []
+    pairs = list(zip(CANONICAL_CHAIN, CANONICAL_CHAIN[1:]))
+    pairs += [("weak-corr", "weak"), ("weak", "weak-spec")]
+    for stronger, weaker in pairs:
+        if statically_contained(stronger, weaker) is not True:
+            findings.append(
+                ModelLintFinding(
+                    LintLevel.ERROR,
+                    stronger,
+                    f"behaviors({stronger}) ⊆ behaviors({weaker}) is not "
+                    f"statically provable — the lattice is broken",
+                )
+            )
+    return findings

@@ -10,6 +10,10 @@ Usage examples::
     python -m repro enumerate MP -m weak --graphs 2
     python -m repro matrix --models sc,tso,weak
     python -m repro wellsync MP -m weak --sync flag
+    python -m repro analyze SB -m weak -m tso    # static delay-set analysis
+    python -m repro analyze --library -m weak    # ... whole litmus library
+    python -m repro models --lint               # audit every model table
+    python -m repro lint SB --strict            # nonzero exit on warnings
     python -m repro experiments --markdown EXPERIMENTS.md
 """
 
@@ -68,7 +72,56 @@ def _strict(args: argparse.Namespace) -> bool:
     return bool(getattr(args, "strict", False))
 
 
+def _auto_lint(test: LitmusTest, args: argparse.Namespace) -> int | None:
+    """Lint ``test`` before an enumeration-backed command.  Prints
+    warnings/errors to stderr; returns an exit code on ERROR findings,
+    None to proceed.  ``--no-lint`` skips the whole check."""
+    if getattr(args, "no_lint", False):
+        return None
+    from repro.isa.lint import LintLevel, lint_program
+
+    findings = [
+        finding
+        for finding in lint_program(test.program)
+        if finding.level is not LintLevel.INFO
+    ]
+    for finding in findings:
+        print(f"{test.name}: {finding}", file=sys.stderr)
+    if any(finding.level is LintLevel.ERROR for finding in findings):
+        print(
+            f"{test.name}: lint errors — refusing to run "
+            f"(pass --no-lint to override)",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
 def cmd_models(args: argparse.Namespace) -> int:
+    if args.lint is not None:
+        from repro.analysis.static import (
+            canonical_chain_findings,
+            lint_all_models,
+            lint_model,
+        )
+        from repro.isa.lint import LintLevel
+
+        reports = (
+            lint_all_models() if args.lint == "*" else {args.lint: lint_model(args.lint)}
+        )
+        worst_is_error = False
+        for name, findings in sorted(reports.items()):
+            if not findings:
+                print(f"{name}: clean")
+                continue
+            for finding in findings:
+                print(str(finding))
+                worst_is_error |= finding.level is LintLevel.ERROR
+        if args.lint == "*":
+            for finding in canonical_chain_findings():
+                print(str(finding))
+                worst_is_error = True
+        return 1 if worst_is_error else 0
     if args.explain:
         from repro.models.doc import model_card
 
@@ -84,20 +137,64 @@ def cmd_models(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.isa.lint import lint_program
+    from repro.isa.lint import LintLevel, lint_program
 
-    test = _load_test(args.test)
-    findings = lint_program(test.program)
-    if not findings:
-        print(f"{test.name}: no findings")
-        return 0
-    for finding in findings:
-        print(f"{test.name}: {finding}")
+    if args.all:
+        tests = all_tests()
+    elif args.test:
+        tests = [_load_test(args.test)]
+    else:
+        raise ReproError("lint requires a test name (or --all for the library)")
+
+    worst: LintLevel | None = None
+    for test in tests:
+        findings = lint_program(test.program)
+        if not findings:
+            print(f"{test.name}: no findings")
+            continue
+        for finding in findings:
+            print(f"{test.name}: {finding}")
+            if finding.level is LintLevel.ERROR:
+                worst = LintLevel.ERROR
+            elif finding.level is LintLevel.WARNING and worst is not LintLevel.ERROR:
+                worst = LintLevel.WARNING
+    if worst is LintLevel.ERROR:
+        return 1
+    if worst is LintLevel.WARNING and args.strict:
+        return 1
     return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.static import analyze_program
+
+    if args.library:
+        for test in all_tests():
+            for model_name in args.model:
+                report = analyze_program(test.program, model_name)
+                caveat = " [conservative]" if report.conservative else ""
+                print(
+                    f"{test.name:<16} {model_name:<10} "
+                    f"cycles={len(report.live_cycles)} races={len(report.races)} "
+                    f"delays={len(report.delays)}{caveat}"
+                )
+        return 0
+    if not args.test:
+        raise ReproError("analyze requires a test name (or --library)")
+    test = _load_test(args.test)
+    racy = False
+    for model_name in args.model:
+        report = analyze_program(test.program, model_name)
+        print(report.summary())
+        racy |= bool(report.races)
+    return 1 if racy else 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     test = _load_test(args.test)
+    lint_exit = _auto_lint(test, args)
+    if lint_exit is not None:
+        return lint_exit
     exit_code = 0
     for model_name in args.model:
         verdict = run_litmus(test, model_name, _limits(args), strict=_strict(args))
@@ -141,6 +238,9 @@ def cmd_enumerate(args: argparse.Namespace) -> int:
         model_name = checkpoint.model.name
     else:
         test = _load_test(args.test)
+        lint_exit = _auto_lint(test, args)
+        if lint_exit is not None:
+            return lint_exit
         name = test.name
         model_name = args.model[0]
         result = enumerate_behaviors(
@@ -332,16 +432,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MODEL",
         help="full model card: table, flags, litmus signature (enumerated live)",
     )
+    p_models.add_argument(
+        "--lint",
+        nargs="?",
+        const="*",
+        default=None,
+        metavar="MODEL",
+        help="audit model tables for soundness (all models when no name given); "
+        "exits nonzero on errors",
+    )
     p_models.set_defaults(func=cmd_models)
 
     p_lint = sub.add_parser("lint", help="static sanity checks on a test")
-    p_lint.add_argument("test")
+    p_lint.add_argument("test", nargs="?", help="test name/file (omit with --all)")
+    p_lint.add_argument(
+        "--all", action="store_true", help="lint every test in the litmus library"
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true", help="exit nonzero on warnings, not just errors"
+    )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="static delay-set analysis: races, delay edges, fence sites — "
+        "no enumeration",
+    )
+    p_analyze.add_argument("test", nargs="?", help="test name/file (omit with --library)")
+    p_analyze.add_argument(
+        "--library", action="store_true", help="analyze the whole litmus library"
+    )
+    p_analyze.add_argument(
+        "--model",
+        "-m",
+        action="append",
+        default=None,
+        help="memory model name (repeatable)",
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
 
     p_run = sub.add_parser("run", help="run a litmus test (library name or file)")
     p_run.add_argument("test")
     add_common(p_run)
     p_run.add_argument("--dot", metavar="PATH", help="write a witness graph as Graphviz")
+    p_run.add_argument(
+        "--no-lint",
+        dest="no_lint",
+        action="store_true",
+        help="skip the automatic pre-run lint",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_enum = sub.add_parser("enumerate", help="enumerate all behaviors of a test")
@@ -363,6 +502,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         metavar="PATH",
         help="resume an interrupted search from a checkpoint file",
+    )
+    p_enum.add_argument(
+        "--no-lint",
+        dest="no_lint",
+        action="store_true",
+        help="skip the automatic pre-enumeration lint",
     )
     p_enum.set_defaults(func=cmd_enumerate)
 

@@ -12,13 +12,12 @@ they are reflected in the ⊑ ordering").
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import CoherenceError, EnumerationError
 from repro.core.graph import EdgeKind, ExecutionGraph
 from repro.core.node import INIT_TID, Node
 from repro.isa.instructions import Fence, Load, OpClass, Rmw, Store
-from repro.isa.operands import Value
 from repro.isa.program import Program
 from repro.coherence.protocol import CoherenceController, ProtocolEdge
 from repro.operational.state import (

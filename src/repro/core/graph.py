@@ -22,7 +22,7 @@ tens of nodes, so quadratic closure passes are inexpensive.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.errors import CycleError, GraphError
 from repro.core.node import Node

@@ -12,7 +12,7 @@ program are directly comparable node-by-node without graph isomorphism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.instructions import Instruction, OpClass
 from repro.isa.operands import Value

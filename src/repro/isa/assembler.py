@@ -27,7 +27,7 @@ condition; it is returned verbatim for :mod:`repro.litmus` to parse.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import AssemblerError
 from repro.isa.instructions import (

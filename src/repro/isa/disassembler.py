@@ -22,7 +22,7 @@ from repro.isa.instructions import (
     RmwKind,
     Store,
 )
-from repro.isa.operands import Const, Operand, Reg
+from repro.isa.operands import Operand, Reg
 from repro.isa.program import Program
 
 _RMW_NAME = {RmwKind.CAS: "cas", RmwKind.EXCHANGE: "xchg", RmwKind.FETCH_ADD: "fadd"}

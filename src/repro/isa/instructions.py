@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ExecutionError, ProgramError
-from repro.isa.operands import Const, Operand, Reg, Value, as_operand
+from repro.isa.operands import Operand, Reg, Value, as_operand
 
 
 class OpClass(enum.Enum):

@@ -6,6 +6,12 @@ registers read before any write (they read 0), dead labels, locations
 written but never read (or vice versa), threads with no memory
 operations, and registers written twice in a way that usually indicates
 a typo in a hand-written test.
+
+Findings come at three levels: ``ERROR`` (the program is almost
+certainly not the test you meant — e.g. a memory access through a
+never-written address register targets location 0 in every execution),
+``WARNING`` (suspicious, probably a typo), and ``INFO`` (worth knowing,
+harmless).
 """
 
 from __future__ import annotations
@@ -13,12 +19,13 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.isa.instructions import Branch, Fence, Instruction, OpClass
+from repro.isa.instructions import Branch, Fence
 from repro.isa.operands import Const, Reg
 from repro.isa.program import Program, Thread
 
 
 class LintLevel(enum.Enum):
+    ERROR = "error"
     WARNING = "warning"
     INFO = "info"
 
@@ -40,18 +47,34 @@ def _lint_thread(thread: Thread) -> list[LintFinding]:
     findings: list[LintFinding] = []
     written: set[str] = set()
     read_before_write: set[str] = set()
+    address_before_write: set[str] = set()
     write_counts: dict[str, int] = {}
 
     for instruction in thread.code:
+        addr = instruction.addr_operand() if instruction.op_class.is_memory() else None
+        address_registers = {addr.name} if isinstance(addr, Reg) else set()
         for register in instruction.sources():
-            if register.name not in written:
+            if register.name in written:
+                continue
+            if register.name in address_registers:
+                address_before_write.add(register.name)
+            else:
                 read_before_write.add(register.name)
         destination = instruction.dest()
         if destination is not None:
             written.add(destination.name)
             write_counts[destination.name] = write_counts.get(destination.name, 0) + 1
 
-    for register in sorted(read_before_write):
+    for register in sorted(address_before_write):
+        findings.append(
+            LintFinding(
+                LintLevel.ERROR,
+                thread.name,
+                f"register {register} is used as a memory address before any "
+                f"write (every access through it targets location 0)",
+            )
+        )
+    for register in sorted(read_before_write - address_before_write):
         findings.append(
             LintFinding(
                 LintLevel.WARNING,
@@ -128,27 +151,36 @@ def lint_program(program: Program) -> list[LintFinding]:
         findings.extend(_lint_thread(thread))
 
     reads, writes, dynamic = _static_reads_writes(program)
-    if not dynamic:
-        for location in sorted(writes - reads):
-            findings.append(
-                LintFinding(
-                    LintLevel.INFO,
-                    None,
-                    f"location {location!r} is written but never read "
-                    f"(only observable through final-memory conditions)",
-                )
+    if dynamic:
+        findings.append(
+            LintFinding(
+                LintLevel.INFO,
+                None,
+                "dynamic addressing: location-level checks suppressed",
             )
-        for location in sorted(reads - writes - set(program.initial_memory)):
-            findings.append(
-                LintFinding(
-                    LintLevel.INFO,
-                    None,
-                    f"location {location!r} is read but never written "
-                    f"(always the initial value 0)",
-                )
+        )
+        return findings
+
+    for location in sorted(writes - reads):
+        findings.append(
+            LintFinding(
+                LintLevel.INFO,
+                None,
+                f"location {location!r} is written but never read "
+                f"(only observable through final-memory conditions)",
             )
-    for location, value in sorted(program.initial_memory.items()):
-        if location not in reads | writes and not dynamic:
+        )
+    for location in sorted(reads - writes - set(program.initial_memory)):
+        findings.append(
+            LintFinding(
+                LintLevel.INFO,
+                None,
+                f"location {location!r} is read but never written "
+                f"(always the initial value 0)",
+            )
+        )
+    for location in sorted(program.initial_memory):
+        if location not in reads | writes:
             findings.append(
                 LintFinding(
                     LintLevel.WARNING,

@@ -30,6 +30,11 @@ def available_models() -> tuple[str, ...]:
     return tuple(sorted(_MODELS))
 
 
+def all_models() -> tuple[MemoryModel, ...]:
+    """All registered models, sorted by name."""
+    return tuple(_MODELS[name] for name in available_models())
+
+
 def register_model(model: MemoryModel) -> None:
     """Register a user-defined model; refuses to overwrite an existing name."""
     if model.name in _MODELS:

@@ -35,20 +35,10 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import EnumerationError, ExecutionError
-from repro.isa.instructions import (
-    Branch,
-    Compute,
-    Fence,
-    FenceKind,
-    Instruction,
-    Load,
-    Rmw,
-    Store,
-    alu_eval,
-)
+from repro.isa.instructions import Branch, Compute, Fence, Instruction, Load, Rmw, Store, alu_eval
 from repro.isa.operands import Const, Operand, Reg, Value
 from repro.isa.program import Program
 from repro.operational.state import final_registers

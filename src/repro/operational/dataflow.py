@@ -28,16 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import EnumerationError, ReproError
-from repro.isa.instructions import (
-    Compute,
-    Fence,
-    Instruction,
-    Load,
-    OpClass,
-    Rmw,
-    Store,
-    alu_eval,
-)
+from repro.isa.instructions import Compute, Fence, Instruction, Load, Rmw, Store, alu_eval
 from repro.isa.operands import Const, Reg, Value
 from repro.isa.program import Program
 from repro.models.base import MemoryModel, OrderRequirement

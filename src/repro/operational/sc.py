@@ -12,7 +12,7 @@ SC reordering table must produce exactly the same outcome set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import EnumerationError
 from repro.isa.instructions import Fence, Load, Rmw, Store

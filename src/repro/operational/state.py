@@ -9,7 +9,7 @@ instructions, so the machines only implement their memory transitions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ExecutionError
 from repro.isa.instructions import (

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from repro.errors import EnumerationError
 from repro.isa.instructions import Fence, FenceKind, Load, Rmw, Store
 from repro.isa.program import Program
-from repro.operational.sc import Memory, _initial_memory, _read, _write
+from repro.operational.sc import _initial_memory, _read, _write
 from repro.operational.state import (
     ArchThreadState,
     final_registers,

@@ -10,7 +10,7 @@ of any store-atomic model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ReproError
 from repro.core.enumerate import EnumerationLimits, enumerate_behaviors

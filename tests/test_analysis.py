@@ -9,7 +9,6 @@ from repro.analysis.wellsync import check_well_synchronized
 from repro.experiments.wellsync_exp import build_guarded_mp
 from repro.litmus.library import get_test
 
-from tests.conftest import build_mp, build_sb
 
 
 class TestCompare:

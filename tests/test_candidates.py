@@ -5,7 +5,6 @@ from repro.core.execution import Execution
 from repro.isa.dsl import ProgramBuilder
 from repro.models.registry import get_model
 
-from tests.conftest import build_mp, build_sb
 
 
 def initial(program, model_name="weak"):

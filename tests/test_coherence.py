@@ -4,14 +4,14 @@ import pytest
 
 from repro.errors import CoherenceError
 from repro.coherence.checker import verify_run
-from repro.coherence.machine import CoherentMachine, run_coherent
+from repro.coherence.machine import run_coherent
 from repro.coherence.protocol import CoherenceController, LineState
 from repro.core.atomicity import check_store_atomicity
 from repro.core.serialization import find_serialization
 from repro.isa.dsl import ProgramBuilder
 from repro.operational.sc import run_sc
 
-from tests.conftest import build_branchy, build_mp, build_sb
+from tests.conftest import build_branchy
 
 
 def controller(locations=("x",), caches=2):

@@ -1,6 +1,5 @@
 """Tests for schedule-coverage measurement."""
 
-import pytest
 
 from repro.analysis.coverage import (
     coherent_machine,

@@ -16,7 +16,6 @@ from repro.litmus.library import get_test
 from repro.models.registry import get_model
 from repro.tm import AtomicBlock, block_units
 
-from tests.conftest import build_sb
 
 
 class TestExperimentHelpers:

@@ -10,7 +10,7 @@ from repro.models.registry import get_model
 from repro.operational.dataflow import run_dataflow
 from repro.operational.sc import run_sc
 
-from tests.conftest import build_branchy, build_sb
+from tests.conftest import build_branchy
 from tests.test_properties import small_programs
 from tests.test_properties_extended import annotated_programs, pointer_programs
 

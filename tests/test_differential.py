@@ -14,7 +14,6 @@ These tests pit them against each other on the generated cycle programs
 — inputs none of the implementations were written against.
 """
 
-import pytest
 from hypothesis import given, settings
 
 from repro.core.enumerate import enumerate_behaviors
@@ -26,7 +25,7 @@ from repro.operational.dataflow import run_dataflow
 from repro.operational.sc import run_sc
 from repro.operational.storebuffer import run_tso
 
-from tests.test_generator import _PO_EDGES, random_cycles, _generate_or_skip
+from tests.test_generator import random_cycles, _generate_or_skip
 
 
 @given(random_cycles())

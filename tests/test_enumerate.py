@@ -11,7 +11,7 @@ from repro.core.enumerate import (
 from repro.isa.dsl import ProgramBuilder
 from repro.models.registry import get_model
 
-from tests.conftest import build_loop, build_sb
+from tests.conftest import build_loop
 
 
 class TestBasicEnumeration:

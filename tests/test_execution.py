@@ -10,7 +10,7 @@ from repro.isa.instructions import Compute, Load, Store
 from repro.isa.operands import Const, Reg
 from repro.models.registry import get_model
 
-from tests.conftest import build_branchy, build_loop, build_sb, build_single_thread
+from tests.conftest import build_branchy, build_loop, build_single_thread
 
 
 def initial(program, model="weak", max_nodes=64):

@@ -13,6 +13,7 @@ from repro.experiments import (
     fig1011,
     litmus_matrix,
     scaling,
+    staticrace_exp,
     wellsync_exp,
     xval,
 )
@@ -34,6 +35,7 @@ _SLOW_MODULES = {
     "TAB-XVAL": xval,
     "TAB-COHERENCE": coherence_exp,
     "TAB-SCALE": scaling,
+    "TAB-STATIC": staticrace_exp,
 }
 
 

@@ -4,7 +4,7 @@ enumerator, corrupt its bookkeeping, or invent behaviors."""
 import pytest
 
 from repro.errors import AtomicityViolation, CycleError
-from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
+from repro.core.enumerate import enumerate_behaviors
 from repro.core.graph import ExecutionGraph
 from repro.models.registry import get_model
 from repro.testing import (

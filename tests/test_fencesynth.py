@@ -1,6 +1,5 @@
 """Tests for minimal fence synthesis."""
 
-import pytest
 
 from repro.analysis.fencesynth import (
     FenceSite,

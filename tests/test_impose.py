@@ -7,7 +7,6 @@ from repro.core.enumerate import enumerate_behaviors
 from repro.core.serialization import all_serializations
 from repro.models.registry import get_model
 
-from tests.conftest import build_sb
 
 
 class TestImpose:

@@ -8,7 +8,6 @@ from repro.operational.dataflow import run_dataflow
 from repro.operational.sc import _initial_memory, _read, _write, run_sc
 from repro.operational.storebuffer import _drain_choices, _forward, run_store_buffer
 
-from tests.conftest import build_sb
 
 
 class TestMemorySnapshots:

@@ -1,0 +1,75 @@
+"""The model lattice, proved statically and spot-checked dynamically.
+
+The registry's canonical chain ``SC ⊆ TSO ⊆ PSO ⊆ WEAK`` is asserted
+two ways: :func:`repro.analysis.static.statically_contained` proves it
+from the tables and flags alone, and the enumerator confirms it on the
+litmus library (every outcome a stronger model admits, the weaker model
+admits too).
+"""
+
+import pytest
+
+from repro.analysis.compare import outcome_sets
+from repro.analysis.static import statically_contained
+from repro.analysis.static.modellint import CANONICAL_CHAIN
+from repro.litmus.library import all_tests, get_test
+from repro.models.registry import all_models, available_models
+
+_CHAIN_PAIRS = list(zip(CANONICAL_CHAIN, CANONICAL_CHAIN[1:]))
+
+#: A representative slice of the library for the enumeration-backed
+#: check (the full library × 4 models is the TAB-STATIC experiment's
+#: job; these cover every relaxation class quickly).
+_SPOT_TESTS = ("SB", "MP", "LB", "CoRR", "2+2W", "R", "MP+ctrl", "SB+rmw")
+
+
+@pytest.fixture(scope="module")
+def spot_outcomes():
+    chain = tuple(CANONICAL_CHAIN)
+    return {
+        name: outcome_sets(get_test(name).program, chain) for name in _SPOT_TESTS
+    }
+
+
+class TestStaticLattice:
+    @pytest.mark.parametrize("stronger, weaker", _CHAIN_PAIRS)
+    def test_chain_link_provable(self, stronger, weaker):
+        assert statically_contained(stronger, weaker) is True
+
+    def test_chain_is_transitively_provable(self):
+        for i, stronger in enumerate(CANONICAL_CHAIN):
+            for weaker in CANONICAL_CHAIN[i + 1 :]:
+                assert statically_contained(stronger, weaker) is True
+
+    def test_every_model_contains_itself(self):
+        for model in all_models():
+            assert statically_contained(model, model) is True
+
+    def test_registry_exposes_the_chain(self):
+        assert set(CANONICAL_CHAIN) <= set(available_models())
+
+
+class TestEnumeratedLattice:
+    @pytest.mark.parametrize("name", _SPOT_TESTS)
+    @pytest.mark.parametrize("stronger, weaker", _CHAIN_PAIRS)
+    def test_outcomes_nest(self, spot_outcomes, name, stronger, weaker):
+        sets = spot_outcomes[name]
+        assert sets.included(stronger, weaker), (
+            f"{name}: {stronger} outcome(s) escape {weaker}: "
+            f"{sorted(map(repr, sets.only_in(stronger, weaker)))}"
+        )
+
+    @pytest.mark.parametrize("name", _SPOT_TESTS)
+    def test_enumerations_complete(self, spot_outcomes, name):
+        sets = spot_outcomes[name]
+        assert all(sets.is_complete(model) for model in CANONICAL_CHAIN)
+
+    def test_weak_is_strictly_weaker_somewhere(self, spot_outcomes):
+        assert any(
+            spot_outcomes[name].only_in("weak", "sc") for name in _SPOT_TESTS
+        )
+
+
+def test_library_names_cover_spot_tests():
+    names = {test.name for test in all_tests()}
+    assert set(_SPOT_TESTS) <= names

@@ -1,6 +1,5 @@
 """Unit tests for dynamic nodes and the error hierarchy."""
 
-import pytest
 
 from repro import errors
 from repro.core.node import INIT_TID, Node

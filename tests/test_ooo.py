@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from repro.core.enumerate import enumerate_behaviors
 from repro.litmus.library import get_test
 from repro.models.registry import get_model
-from repro.ooo import OooMachine, run_ooo
+from repro.ooo import run_ooo
 
 from tests.conftest import build_branchy, build_loop, build_single_thread
 from tests.test_properties import small_programs

@@ -1,6 +1,5 @@
 """White-box tests for the out-of-order core's microarchitecture."""
 
-import pytest
 
 from repro.litmus.library import get_test
 from repro.ooo import OooMachine, Stage

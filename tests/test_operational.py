@@ -9,7 +9,7 @@ from repro.operational.state import ArchThreadState
 from repro.operational.storebuffer import run_pso, run_store_buffer, run_tso
 from repro.isa.operands import Const, Reg
 
-from tests.conftest import build_branchy, build_loop, build_mp, build_sb
+from tests.conftest import build_branchy, build_loop
 
 
 def outcome_set(result):

@@ -7,7 +7,6 @@ one shared namespace, so code rot in the front-page examples fails CI.
 import re
 from pathlib import Path
 
-import pytest
 
 README = Path(__file__).resolve().parent.parent / "README.md"
 

@@ -1,11 +1,10 @@
 """Tests for acquire/release access annotations (half fences)."""
 
-import pytest
 
 from repro.core.enumerate import enumerate_behaviors
 from repro.isa.assembler import parse_instruction
 from repro.isa.dsl import ProgramBuilder
-from repro.isa.instructions import Load, OpClass, Rmw, Store
+from repro.isa.instructions import Load, Rmw, Store
 from repro.isa.operands import Const, Reg
 from repro.models import WEAK, OrderRequirement, get_model
 from repro.operational.storebuffer import run_pso, run_tso

@@ -1,6 +1,5 @@
 """Tests for the SC-robustness analysis and the new CLI subcommands."""
 
-import pytest
 
 from repro.analysis.compare import check_robustness
 from repro.cli import main

@@ -20,7 +20,6 @@ from repro.core.serialization import (
 from repro.isa.dsl import ProgramBuilder
 from repro.models.registry import get_model
 
-from tests.conftest import build_mp, build_sb
 
 
 def _check_witness(execution, witness):

@@ -1,0 +1,250 @@
+"""Tests for the static delay-set analyzer and the model-spec linter."""
+
+import pytest
+
+from repro.analysis.fencesynth import synthesize_fences
+from repro.analysis.static import (
+    DelayEdge,
+    analyze_program,
+    canonical_chain_findings,
+    effective_requirement,
+    lint_all_models,
+    lint_model,
+    statically_contained,
+)
+from repro.analysis.static.conflict import (
+    StaticAccess,
+    collect_accesses,
+    enforced_order,
+    find_critical_cycles,
+)
+from repro.analysis.static.modellint import PAPER_MODELS
+from repro.cli import main
+from repro.isa.dsl import ProgramBuilder
+from repro.isa.instructions import OpClass
+from repro.isa.lint import LintLevel
+from repro.litmus.library import get_test
+from repro.models.base import OrderRequirement
+from repro.models.registry import get_model
+
+
+def _delays(name, model):
+    report = analyze_program(get_test(name).program, model)
+    return sorted((d.thread, d.first_index, d.second_index) for d in report.delays)
+
+
+class TestConflictGraph:
+    def test_collect_accesses_mp(self):
+        accesses = collect_accesses(get_test("MP").program)
+        assert [str(a) for a in accesses] == [
+            "P0[0]:Wx",
+            "P0[1]:Wflag",
+            "P1[0]:Rflag",
+            "P1[1]:Rx",
+        ]
+
+    def test_rmw_is_both(self):
+        accesses = collect_accesses(get_test("SB+rmw").program)
+        assert any(a.kind == "RW" for a in accesses)
+
+    def test_dynamic_address_aliases_everything(self):
+        dynamic = StaticAccess("T", 0, "R", None)
+        other = StaticAccess("U", 0, "W", "x")
+        assert dynamic.may_alias(other) and other.may_alias(dynamic)
+
+    def test_mp_has_one_critical_cycle(self):
+        program = get_test("MP").program
+        cycles = find_critical_cycles(program)
+        assert len(cycles) == 1
+        assert {a.thread for a in cycles[0]} == {"P0", "P1"}
+
+    def test_iriw_cycle_spans_four_threads(self):
+        cycles = find_critical_cycles(get_test("IRIW").program)
+        assert any(len({a.thread for a in cycle}) == 4 for cycle in cycles)
+
+    def test_enforced_order_respects_fences(self):
+        thread = get_test("SB+fences").program.threads[0]
+        matrix = enforced_order(thread, get_model("weak"))
+        # store[0] -> fence[1] -> load[2]: enforced transitively.
+        assert matrix[0][2]
+
+    def test_enforced_order_dataflow(self):
+        thread = get_test("LB+data").program.threads[0]
+        matrix = enforced_order(thread, get_model("weak"))
+        assert matrix[0][len(thread.code) - 1]
+
+
+class TestDelayEdges:
+    def test_mp_under_weak_needs_both_edges(self):
+        assert _delays("MP", "weak") == [("P0", 0, 1), ("P1", 0, 1)]
+
+    def test_mp_under_pso_needs_writer_side_only(self):
+        assert _delays("MP", "pso") == [("P0", 0, 1)]
+
+    def test_mp_under_sc_needs_nothing(self):
+        assert _delays("MP", "sc") == []
+
+    def test_r_under_tso_is_the_store_load_edge(self):
+        assert _delays("R", "tso") == [("P1", 0, 1)]
+
+    def test_corr_only_under_uncorrected_weak(self):
+        assert _delays("CoRR", "weak") == [("P1", 0, 1)]
+        assert _delays("CoRR", "weak-corr") == []
+
+    def test_release_acquire_discharges_mp(self):
+        assert _delays("MP+ra", "weak") == []
+
+    def test_control_dependency_is_not_trusted(self):
+        # The branch does not order the loads statically; the delay spans it.
+        assert _delays("MP+ctrl", "weak") == [("P1", 0, 2)]
+
+    def test_covers_matches_fencesynth_convention(self):
+        edge = DelayEdge("P1", 0, 2)
+        assert not edge.covers(0)
+        assert edge.covers(1) and edge.covers(2)
+        assert not edge.covers(3)
+
+    def test_conservative_flag(self):
+        assert analyze_program(get_test("MP+addr").program, "weak").conservative
+        assert not analyze_program(get_test("MP").program, "weak").conservative
+
+    def test_fenced_variant_is_clean(self):
+        report = analyze_program(get_test("SB+fences").program, "weak")
+        assert report.delays == () and report.fence_sites == ()
+
+    def test_single_thread_has_no_cycles(self):
+        builder = ProgramBuilder("solo")
+        thread = builder.thread("T")
+        thread.store("x", 1)
+        thread.load("r1", "x")
+        report = analyze_program(builder.build(), "weak")
+        assert report.critical_cycles == ()
+        assert report.races == ()
+
+
+class TestRacePredictions:
+    def test_mp_races_on_both_locations(self):
+        report = analyze_program(get_test("MP").program, "weak")
+        assert report.predicts_race("P1", "flag")
+        assert report.predicts_race("P1", "x")
+        assert not report.predicts_race("P0", "x")
+
+    def test_dynamic_address_race_matches_any_location(self):
+        report = analyze_program(get_test("MP+addr").program, "weak")
+        assert report.predicts_race("P1", "x")
+
+    @pytest.mark.parametrize("model", ["sc", "tso", "pso", "weak"])
+    def test_race_set_is_model_independent_for_coherent_models(self, model):
+        weak = analyze_program(get_test("SB").program, "weak")
+        other = analyze_program(get_test("SB").program, model)
+        assert {str(r) for r in other.races} == {str(r) for r in weak.races}
+
+
+class TestFenceSoundnessSpotChecks:
+    @pytest.mark.parametrize(
+        "name, model",
+        [("SB", "weak"), ("MP", "weak"), ("MP", "pso"), ("R", "tso"), ("CoRR", "weak")],
+    )
+    def test_synthesized_sites_are_covered(self, name, model):
+        test = get_test(name)
+        report = analyze_program(test.program, model)
+        synthesis = synthesize_fences(test, model)
+        for solution in synthesis.solutions:
+            for site in solution:
+                assert report.covers_site(site.thread, site.position), (
+                    name,
+                    model,
+                    str(site),
+                )
+
+
+class TestModelLinter:
+    def test_paper_models_error_free_except_naive_tso(self):
+        # Quantified over the paper's model set, not the live registry —
+        # other tests register deliberately-broken models.
+        for name in PAPER_MODELS:
+            errors = [f for f in lint_model(name) if f.level is LintLevel.ERROR]
+            if name == "naive-tso":
+                assert errors, "the Figure 11 strawman must be flagged"
+            else:
+                assert errors == [], (name, [str(f) for f in errors])
+
+    def test_lint_all_models_covers_the_registry(self):
+        assert set(PAPER_MODELS) <= set(lint_all_models())
+
+    def test_naive_tso_flagged_as_dependency_breaking(self):
+        messages = [f.message for f in lint_model("naive-tso")]
+        assert any("dependency-breaking" in message for message in messages)
+
+    def test_sc_fences_redundant_info(self):
+        findings = lint_model("sc")
+        assert any(
+            f.level is LintLevel.INFO and "redundant" in f.message for f in findings
+        )
+
+    def test_effective_requirement_folds_bypass(self):
+        tso = get_model("tso")
+        assert (
+            effective_requirement(tso, OpClass.STORE, OpClass.LOAD)
+            is OrderRequirement.SAME_ADDRESS
+        )
+        assert (
+            tso.class_requirement(OpClass.STORE, OpClass.LOAD) is OrderRequirement.NONE
+        )
+
+
+class TestStaticContainment:
+    @pytest.mark.parametrize(
+        "stronger, weaker",
+        [("sc", "tso"), ("tso", "pso"), ("pso", "weak"), ("sc", "weak"),
+         ("weak-corr", "weak"), ("weak", "weak-spec")],
+    )
+    def test_canonical_chain_is_provable(self, stronger, weaker):
+        assert statically_contained(stronger, weaker) is True
+
+    def test_reverse_directions_are_not_claimed(self):
+        assert statically_contained("weak", "sc") is None
+        assert statically_contained("tso", "sc") is None
+
+    def test_naive_tso_is_outside_the_lattice(self):
+        assert statically_contained("tso", "naive-tso") is None
+        assert statically_contained("naive-tso", "tso") is None
+
+    def test_chain_findings_empty(self):
+        assert canonical_chain_findings() == []
+
+
+class TestAnalyzeCli:
+    def test_single_test(self, capsys):
+        code = main(["analyze", "MP", "-m", "weak"])
+        out = capsys.readouterr().out
+        assert code == 1  # races predicted
+        assert "2 required delay edge(s)" in out
+        assert "P0[0 -> 1]" in out
+
+    def test_race_free_test_exits_zero(self, capsys):
+        assert main(["analyze", "3.2W", "-m", "weak"]) == 0
+
+    def test_library_sweep(self, capsys):
+        assert main(["analyze", "--library", "-m", "weak"]) == 0
+        out = capsys.readouterr().out
+        assert "SB" in out and "IRIW" in out
+
+    def test_requires_test_or_library(self, capsys):
+        assert main(["analyze"]) == 2
+
+    def test_models_lint_flag(self, capsys):
+        assert main(["models", "--lint"]) == 1  # naive-tso errors
+        out = capsys.readouterr().out
+        assert "naive-tso" in out
+        assert main(["models", "--lint", "weak"]) == 0
+
+
+class TestStaticraceExperiment:
+    def test_experiment_passes(self):
+        from repro.experiments import staticrace_exp
+
+        result = staticrace_exp.run()
+        failing = [claim.description for claim in result.claims if not claim.holds]
+        assert failing == []
+        assert "speedup" in result.details

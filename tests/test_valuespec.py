@@ -9,7 +9,6 @@ from repro.core.valuespec import closure_satisfiable, enumerate_value_speculatio
 from repro.litmus.library import get_test
 from repro.models.registry import get_model
 
-from tests.conftest import build_mp, build_sb
 from tests.test_properties import small_programs
 
 STALE_MP = frozenset({(("P1", "r1"), 1), (("P1", "r2"), 0)})

@@ -5,7 +5,6 @@ from repro.models.registry import get_model
 from repro.viz.ascii import render
 from repro.viz.dot import to_dot
 
-from tests.conftest import build_sb
 
 
 def _one_execution(program, model="weak"):
