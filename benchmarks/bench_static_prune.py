@@ -1,0 +1,156 @@
+"""Benchmark: enumeration with dataflow facts vs without.
+
+Sweeps the full litmus library (plus the Figure 8/9 programs) under
+several models, enumerating each (test, model) pair twice — once
+baseline, once with :func:`compute_static_facts` handed to the
+enumerator — and emits a BENCH json recording, per pair, the
+candidate-store scan counts, the statically-pruned share, wall-clock for
+both runs, and whether the outcome sets agree (they must: pruning is
+required to be a pure accelerator).
+
+Exits nonzero when any outcome set differs or when the mean scan
+reduction on register-computed-address tests falls below 20% — the CI
+smoke job runs this with ``--quick``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_static_prune.py [--quick]
+        [--out bench_static_prune.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.static.dataflow import compute_static_facts
+from repro.core.enumerate import enumerate_behaviors
+from repro.experiments.dataflow_exp import uses_register_addresses
+from repro.experiments.fig89 import build_aliasing_program, build_program
+from repro.litmus.library import all_tests
+from repro.models.registry import get_model
+
+FULL_MODELS = ("sc", "tso", "pso", "weak", "weak-spec")
+QUICK_MODELS = ("weak", "weak-spec")
+
+#: Acceptance floor for the mean scan reduction on register-address tests.
+MIN_REGISTER_REDUCTION = 0.20
+
+
+def run_benchmark(models: tuple[str, ...]) -> dict:
+    programs = [test.program for test in all_tests()]
+    programs.append(build_program())
+    programs.append(build_aliasing_program())
+
+    rows = []
+    per_test_reduction: dict[str, float] = {}
+    register_tests: list[str] = []
+    all_equal = True
+    for program in programs:
+        facts = compute_static_facts(program)
+        register_addresses = uses_register_addresses(program)
+        scanned_total = pruned_total = 0
+        for model_name in models:
+            model = get_model(model_name)
+            start = time.perf_counter()
+            baseline = enumerate_behaviors(program, model)
+            seconds_baseline = time.perf_counter() - start
+            start = time.perf_counter()
+            accelerated = enumerate_behaviors(program, model, facts=facts)
+            seconds_pruned = time.perf_counter() - start
+            equal = baseline.register_outcomes() == accelerated.register_outcomes()
+            all_equal &= equal
+            scanned = accelerated.stats.candidates_scanned
+            pruned = accelerated.stats.candidates_pruned
+            scanned_total += scanned
+            pruned_total += pruned
+            rows.append(
+                {
+                    "test": program.name,
+                    "model": model_name,
+                    "register_addresses": register_addresses,
+                    "candidates_considered": scanned,
+                    "candidates_pruned": pruned,
+                    "reduction": pruned / scanned if scanned else 0.0,
+                    "seconds_baseline": seconds_baseline,
+                    "seconds_pruned": seconds_pruned,
+                    "outcomes_equal": equal,
+                }
+            )
+        if scanned_total:
+            per_test_reduction[program.name] = pruned_total / scanned_total
+            if register_addresses:
+                register_tests.append(program.name)
+
+    register_mean = sum(per_test_reduction[name] for name in register_tests) / max(
+        len(register_tests), 1
+    )
+    return {
+        "benchmark": "static-prune",
+        "models": list(models),
+        "tests": rows,
+        "register_address_tests": register_tests,
+        "mean_reduction_register_computed": register_mean,
+        "mean_reduction_all": sum(per_test_reduction.values())
+        / max(len(per_test_reduction), 1),
+        "all_outcomes_equal": all_equal,
+        "seconds_baseline_total": sum(row["seconds_baseline"] for row in rows),
+        "seconds_pruned_total": sum(row["seconds_pruned"] for row in rows),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"sweep only {QUICK_MODELS} instead of {FULL_MODELS}",
+    )
+    parser.add_argument(
+        "--out",
+        default="bench_static_prune.json",
+        help="path for the BENCH json (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(QUICK_MODELS if args.quick else FULL_MODELS)
+    result["quick"] = args.quick
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    mismatches = [
+        f"{row['test']}/{row['model']}"
+        for row in result["tests"]
+        if not row["outcomes_equal"]
+    ]
+    print(
+        f"BENCH static-prune: {len(result['tests'])} (test, model) pairs, "
+        f"mean scan reduction {result['mean_reduction_all']:.0%} overall, "
+        f"{result['mean_reduction_register_computed']:.0%} on register-address "
+        f"tests ({', '.join(result['register_address_tests'])})"
+    )
+    print(
+        f"BENCH wall-clock: baseline {result['seconds_baseline_total']:.2f}s, "
+        f"with facts {result['seconds_pruned_total']:.2f}s"
+    )
+    print(f"BENCH json written to {args.out}")
+
+    status = 0
+    if mismatches:
+        print(f"FAIL: outcome sets differ on {', '.join(mismatches)}", file=sys.stderr)
+        status = 1
+    if result["mean_reduction_register_computed"] < MIN_REGISTER_REDUCTION:
+        print(
+            f"FAIL: register-address mean reduction "
+            f"{result['mean_reduction_register_computed']:.0%} "
+            f"< {MIN_REGISTER_REDUCTION:.0%}",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,8 +10,8 @@ ingredients:
   same-location cross-thread accesses where at least one writes,
 * the model's :class:`~repro.models.base.ReorderingTable`, which decides
   which program-order edges the hardware already **enforces** (directly,
-  through fences/acquire-release, via register dataflow, or
-  transitively).
+  through fences/acquire-release, via register dataflow, via the §5.1
+  address-resolution dependencies, or transitively).
 
 Following Shasha & Snir (paper §7), a relaxed outcome requires a
 *critical cycle* — a minimal cycle alternating program-order and
@@ -25,20 +25,31 @@ by the model is simultaneously relaxed.  Hence:
 * **predicted races** = conflict edges with a read side (a load whose
   value can come from more than one store).
 
-All three are sound over-approximations of the enumerator's verdicts:
-branches and register-computed addresses are handled conservatively
-(every access may execute, a dynamic address may alias anything), and
-enforcement is only claimed when the table, a fence chain, or a
-definite dataflow chain proves it.  TAB-STATIC cross-validates this
-against `wellsync` and `fencesynth` on the whole litmus library.
+By default the analysis runs on top of the dataflow layer
+(:mod:`repro.analysis.static.dataflow`): register-computed addresses get
+value sets instead of "aliases everything", statically-dead branch arms
+are skipped, and every finding carries provenance — ``exact`` when the
+underlying accesses have a single certain address on an unconditional
+path, over-approximated otherwise.  ``precise=False`` restores the
+purely syntactic PR-2 behavior.  All verdicts remain sound
+over-approximations of the enumerator's; TAB-STATIC and TAB-DATAFLOW
+cross-validate them against `wellsync`, `fencesynth`, and pruned
+enumeration on the whole litmus library.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
+from repro.analysis.static.dataflow import (
+    StaticFacts,
+    ThreadFacts,
+    collect_memory_accesses,
+    compute_static_facts,
+    static_location,
+)
 from repro.isa.instructions import Branch, OpClass
-from repro.isa.operands import Const
+from repro.isa.operands import Reg
 from repro.isa.program import Program, Thread
 from repro.models.base import MemoryModel, OrderRequirement
 from repro.models.registry import get_model
@@ -46,13 +57,20 @@ from repro.models.registry import get_model
 
 @dataclass(frozen=True)
 class StaticAccess:
-    """One static memory access.  ``location`` is None when the address
-    is register-computed (conservatively aliases every location)."""
+    """One static memory access.
+
+    ``location`` is the single statically-certain address, or None.
+    ``locations`` is the dataflow-computed may-address set (any
+    :class:`~repro.isa.operands.Value` members; None = unknown, aliases
+    everything) — absent on conservatively-collected accesses, where
+    ``location`` alone decides aliasing exactly as in PR 2."""
 
     thread: str
     index: int  #: static instruction index within the thread
     kind: str  #: "R", "W", or "RW" (an RMW is both)
     location: str | None
+    locations: frozenset | None = None
+    must_execute: bool = True
 
     def reads(self) -> bool:
         return "R" in self.kind
@@ -60,10 +78,29 @@ class StaticAccess:
     def writes(self) -> bool:
         return "W" in self.kind
 
+    def effective_locations(self) -> frozenset | None:
+        if self.locations is not None:
+            return self.locations
+        return frozenset({self.location}) if self.location is not None else None
+
+    @property
+    def exact(self) -> bool:
+        """A single certain address on an unconditionally-executed access."""
+        locations = self.effective_locations()
+        return self.must_execute and locations is not None and len(locations) == 1
+
     def may_alias(self, other: "StaticAccess") -> bool:
-        if self.location is None or other.location is None:
+        mine = self.effective_locations()
+        theirs = other.effective_locations()
+        if mine is None or theirs is None:
             return True
-        return self.location == other.location
+        return bool(mine & theirs)
+
+    def must_alias(self, other: "StaticAccess") -> bool:
+        """Both accesses certainly target the same single address."""
+        mine = self.effective_locations()
+        theirs = other.effective_locations()
+        return mine is not None and len(mine) == 1 and mine == theirs
 
     def __str__(self) -> str:
         where = self.location if self.location is not None else "?"
@@ -73,11 +110,15 @@ class StaticAccess:
 @dataclass(frozen=True, order=True)
 class DelayEdge:
     """A program-order pair in a critical cycle that the model does not
-    enforce — it must be fenced to forbid the cycle's outcome."""
+    enforce — it must be fenced to forbid the cycle's outcome.  ``exact``
+    records provenance: True when some contributing cycle consists of
+    exact accesses only (the delay is certainly real, not an artifact of
+    over-approximated aliasing or a conditional path)."""
 
     thread: str
     first_index: int
     second_index: int
+    exact: bool = field(default=True, compare=False)
 
     def covers(self, position: int) -> bool:
         """Whether a fence inserted before ``position`` orders this pair."""
@@ -89,12 +130,17 @@ class DelayEdge:
 
 @dataclass(frozen=True)
 class RacePrediction:
-    """A load whose value may come from more than one store."""
+    """A load whose value may come from more than one store.  ``exact``
+    is True when the load and every writer have certain addresses on
+    unconditional paths — the race is definitely observable, not an
+    over-approximation."""
 
     thread: str
     index: int
     location: str | None
     stores: tuple[StaticAccess, ...]  #: the conflicting writers
+    locations: frozenset | None = None  #: the load's may-address set
+    exact: bool = True
 
     def __str__(self) -> str:
         where = self.location if self.location is not None else "?"
@@ -129,16 +175,22 @@ class StaticReport:
     races: tuple[RacePrediction, ...]
     delays: tuple[DelayEdge, ...]
     fence_sites: tuple[SuggestedFence, ...]
-    conservative: bool  #: branches/dynamic addresses forced over-approximation
+    conservative: bool  #: some finding is over-approximated
+    precise: bool = False  #: analysis ran on dataflow facts
 
     def predicts_race(self, thread: str, location: str) -> bool:
         """Whether some predicted race could be the dynamic race observed
-        on ``location`` in ``thread`` (a None location matches anything)."""
-        return any(
-            race.thread == thread
-            and (race.location is None or race.location == location)
-            for race in self.races
-        )
+        on ``location`` in ``thread`` (an unknown location matches
+        anything)."""
+        for race in self.races:
+            if race.thread != thread:
+                continue
+            locations = race.locations
+            if locations is None and race.location is not None:
+                locations = frozenset({race.location})
+            if locations is None or location in locations:
+                return True
+        return False
 
     def covers_site(self, thread: str, position: int) -> bool:
         """Whether a fence at this insertion gap enforces a required
@@ -147,8 +199,22 @@ class StaticReport:
             delay.thread == thread and delay.covers(position) for delay in self.delays
         )
 
+    def finding_provenance(self) -> tuple[int, int]:
+        """(exact, over-approximated) counts over races + delay edges."""
+        findings = list(self.races) + list(self.delays)
+        exact = sum(1 for finding in findings if finding.exact)
+        return exact, len(findings) - exact
+
     def summary(self) -> str:
-        caveat = " [conservative: branches or dynamic addresses]" if self.conservative else ""
+        if self.precise:
+            exact, approx = self.finding_provenance()
+            caveat = f" [{approx} finding(s) over-approximated]" if approx else ""
+        else:
+            caveat = (
+                " [conservative: branches or dynamic addresses]"
+                if self.conservative
+                else ""
+            )
         lines = [
             f"{self.program_name} under {self.model_name}: "
             f"{len(self.critical_cycles)} critical cycle(s), "
@@ -177,39 +243,55 @@ class StaticReport:
 
 
 def _static_location(instruction) -> str | None:
-    addr = instruction.addr_operand()
-    if isinstance(addr, Const) and isinstance(addr.value, str):
-        return addr.value
-    return None
+    return static_location(instruction)
 
 
-def collect_accesses(program: Program) -> tuple[StaticAccess, ...]:
-    """All static memory accesses, conservatively assuming every one may
-    execute (branches are not resolved statically)."""
+def collect_accesses(
+    program: Program, facts: StaticFacts | None = None
+) -> tuple[StaticAccess, ...]:
+    """All static memory accesses.  Without ``facts``, conservatively
+    assumes every access may execute and register-computed addresses
+    alias everything (PR 2); with ``facts``, attaches the dataflow
+    address sets, drops statically-dead branch arms, and records
+    must-execute provenance."""
     accesses = []
-    for thread in program.threads:
-        for index, instruction in enumerate(thread.code):
-            if not instruction.op_class.is_memory():
-                continue
-            if instruction.op_class is OpClass.RMW:
-                kind = "RW"
-            elif instruction.op_class.writes_memory():
-                kind = "W"
-            else:
-                kind = "R"
+    for site in collect_memory_accesses(program):
+        if facts is None:
             accesses.append(
-                StaticAccess(thread.name, index, kind, _static_location(instruction))
+                StaticAccess(site.thread, site.index, site.kind, site.location)
             )
+            continue
+        if facts.is_dead(site.tid, site.index):
+            continue
+        access_facts = facts.access(site.tid, site.index)
+        if access_facts is None:
+            accesses.append(
+                StaticAccess(site.thread, site.index, site.kind, site.location)
+            )
+            continue
+        location = site.location
+        addresses = access_facts.addresses
+        if location is None and addresses is not None and len(addresses) == 1:
+            (only,) = addresses
+            if isinstance(only, str):
+                location = only
+        accesses.append(
+            StaticAccess(
+                site.thread,
+                site.index,
+                site.kind,
+                location,
+                locations=addresses,
+                must_execute=access_facts.must_execute,
+            )
+        )
     return tuple(accesses)
 
 
 def _dataflow_edges(thread: Thread) -> set[tuple[int, int]]:
     """Definite register-dependency edges (writer -> reader) within a
-    straight-line thread.  Register dataflow always orders instructions
-    (the tables' implicit "indep" entries), but only the *last* writer
-    before a reader is a definite dependency — and only when no branch
-    can reroute control between them, so branchy threads contribute
-    nothing here (their ordering comes from table entries alone)."""
+    straight-line thread — the PR-2 fallback when no dataflow facts are
+    available.  Branchy threads contribute nothing here."""
     if any(isinstance(instruction, Branch) for instruction in thread.code):
         return set()
     edges: set[tuple[int, int]] = set()
@@ -224,25 +306,89 @@ def _dataflow_edges(thread: Thread) -> set[tuple[int, int]]:
     return edges
 
 
-def enforced_order(thread: Thread, model: MemoryModel) -> list[list[bool]]:
+def _addr_dep_edges(
+    thread: Thread, model: MemoryModel, thread_facts: ThreadFacts
+) -> set[tuple[int, int, int]]:
+    """Static §5.1 edges as (producer, target, checked) triples: for a
+    same-address-checked pair (checked, target) whose earlier address is
+    register-computed, the non-speculative machine orders the producer
+    of that address before the later operation."""
+    edges: set[tuple[int, int, int]] = set()
+    code = thread.code
+    for checked, instruction in enumerate(code):
+        if not instruction.op_class.is_memory():
+            continue
+        addr = instruction.addr_operand()
+        if not isinstance(addr, Reg):
+            continue
+        producer = thread_facts.unique_def(checked, addr.name)
+        if producer is None:
+            continue
+        for target in range(checked + 1, len(code)):
+            requirement = model.requirement(instruction, code[target])
+            if requirement is OrderRequirement.SAME_ADDRESS and producer < target:
+                edges.add((producer, target, checked))
+    return edges
+
+
+def enforced_order(
+    thread: Thread,
+    model: MemoryModel,
+    facts: StaticFacts | None = None,
+    *,
+    addr_deps: bool = True,
+    drop_addr_dep_target: int | None = None,
+) -> list[list[bool]]:
     """The per-thread enforced partial order: ``matrix[i][j]`` (i < j) is
     True when the model definitely keeps instruction ``i`` ordered before
     instruction ``j`` in every execution — by a table entry, a fence or
-    acquire/release annotation, a definite dataflow edge, or a
-    transitive chain of those."""
+    acquire/release annotation, a definite dataflow edge, a §5.1
+    address-resolution dependency (non-speculative models, with facts),
+    or a transitive chain of those."""
     size = len(thread.code)
     matrix = [[False] * size for _ in range(size)]
+    thread_facts: ThreadFacts | None = None
+    if facts is not None:
+        try:
+            thread_facts = facts.by_name(thread.name)
+        except KeyError:
+            thread_facts = None
+    precise = thread_facts is not None and thread_facts.analyzable
+
     for i in range(size):
         for j in range(i + 1, size):
             requirement = model.requirement(thread.code[i], thread.code[j])
             if requirement is OrderRequirement.ALWAYS:
                 matrix[i][j] = True
             elif requirement is OrderRequirement.SAME_ADDRESS:
-                first = _static_location(thread.code[i])
-                second = _static_location(thread.code[j])
-                matrix[i][j] = first is not None and first == second
-    for i, j in _dataflow_edges(thread):
-        matrix[i][j] = True
+                if precise:
+                    first = thread_facts.accesses.get(i)
+                    second = thread_facts.accesses.get(j)
+                    matrix[i][j] = (
+                        first is not None
+                        and second is not None
+                        and first.addresses is not None
+                        and len(first.addresses) == 1
+                        and first.addresses == second.addresses
+                    )
+                else:
+                    first_loc = _static_location(thread.code[i])
+                    second_loc = _static_location(thread.code[j])
+                    matrix[i][j] = first_loc is not None and first_loc == second_loc
+
+    if precise:
+        for writer, reader in thread_facts.definite_deps:
+            matrix[writer][reader] = True
+        if addr_deps and not model.speculative_aliasing:
+            for producer, target, _checked in _addr_dep_edges(
+                thread, model, thread_facts
+            ):
+                if target != drop_addr_dep_target:
+                    matrix[producer][target] = True
+    else:
+        for i, j in _dataflow_edges(thread):
+            matrix[i][j] = True
+
     # Transitive closure: ordered-before is transitive across the chain.
     for k in range(size):
         for i in range(k):
@@ -376,25 +522,49 @@ def _predict_races(
             )
         writers = remote + local
         if writers:
+            exact = access.exact and all(
+                writer.exact and writer.must_alias(access) for writer in writers
+            )
             races.append(
-                RacePrediction(access.thread, access.index, access.location, writers)
+                RacePrediction(
+                    access.thread,
+                    access.index,
+                    access.location,
+                    writers,
+                    locations=access.effective_locations(),
+                    exact=exact,
+                )
             )
     return tuple(races)
 
 
-def analyze_program(program: Program, model: MemoryModel | str) -> StaticReport:
+def analyze_program(
+    program: Program,
+    model: MemoryModel | str,
+    *,
+    precise: bool = True,
+    facts: StaticFacts | None = None,
+) -> StaticReport:
     """The full static analysis of ``program`` under ``model`` — no
-    enumeration anywhere on this path."""
+    enumeration anywhere on this path.  ``precise=True`` (the default)
+    runs on the dataflow facts; ``precise=False`` restores the PR-2
+    syntactic analysis (register-computed addresses alias everything)."""
     if isinstance(model, str):
         model = get_model(model)
-    accesses = collect_accesses(program)
+    if precise:
+        if facts is None:
+            facts = compute_static_facts(program)
+    else:
+        facts = None
+    accesses = collect_accesses(program, facts)
     cycles = find_critical_cycles(program, accesses)
     enforced = {
-        thread.name: enforced_order(thread, model) for thread in program.threads
+        thread.name: enforced_order(thread, model, facts)
+        for thread in program.threads
     }
 
     live: list[tuple[StaticAccess, ...]] = []
-    delays: set[DelayEdge] = set()
+    delay_exact: dict[tuple[str, int, int], bool] = {}
     for cycle in cycles:
         relaxed = [
             (first, second)
@@ -403,24 +573,225 @@ def analyze_program(program: Program, model: MemoryModel | str) -> StaticReport:
         ]
         if relaxed:
             live.append(cycle)
+            cycle_exact = all(access.exact for access in cycle)
             for first, second in relaxed:
-                delays.add(DelayEdge(first.thread, first.index, second.index))
+                key = (first.thread, first.index, second.index)
+                delay_exact[key] = delay_exact.get(key, False) or cycle_exact
 
+    delays = tuple(
+        sorted(
+            DelayEdge(thread, first, second, exact=exact)
+            for (thread, first, second), exact in delay_exact.items()
+        )
+    )
     sites = sorted(
         {SuggestedFence(delay.thread, delay.first_index + 1) for delay in delays},
         key=lambda site: (site.thread, site.position),
     )
-    conservative = program.has_branches() or any(
-        access.location is None for access in accesses
-    )
+    races = _predict_races(accesses, model)
+    if facts is not None:
+        conservative = any(not race.exact for race in races) or any(
+            not delay.exact for delay in delays
+        )
+    else:
+        conservative = program.has_branches() or any(
+            access.location is None for access in accesses
+        )
     return StaticReport(
         program_name=program.name,
         model_name=model.name,
         accesses=accesses,
         critical_cycles=cycles,
         live_cycles=tuple(live),
-        races=_predict_races(accesses, model),
-        delays=tuple(sorted(delays)),
+        races=races,
+        delays=delays,
         fence_sites=tuple(sites),
         conservative=conservative,
+        precise=facts is not None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# speculation safety (paper §5: which loads may be alias-speculated?)
+
+
+@dataclass(frozen=True)
+class LoadSpeculationVerdict:
+    """Whether one load may be alias-speculated — resolved before the
+    addresses of earlier same-address-checked accesses are known —
+    without admitting behaviors the non-speculative model forbids."""
+
+    thread: str
+    index: int
+    safe: bool
+    reason: str
+
+    def __str__(self) -> str:
+        verdict = "safe" if self.safe else "UNSAFE"
+        return f"{self.thread}[{self.index}]: {verdict} — {self.reason}"
+
+
+@dataclass
+class SpeculationReport:
+    """Per-load speculation-safety verdicts for one program/model."""
+
+    program_name: str
+    model_name: str
+    loads: tuple[LoadSpeculationVerdict, ...]
+
+    @property
+    def all_safe(self) -> bool:
+        return all(load.safe for load in self.loads)
+
+    def unsafe_loads(self) -> tuple[LoadSpeculationVerdict, ...]:
+        return tuple(load for load in self.loads if not load.safe)
+
+    def summary(self) -> str:
+        unsafe = len(self.unsafe_loads())
+        lines = [
+            f"{self.program_name} under {self.model_name}: "
+            f"{len(self.loads)} load(s), {unsafe} unsafe to alias-speculate"
+        ]
+        lines.extend(f"  {load}" for load in self.loads)
+        return "\n".join(lines)
+
+
+def speculation_safety(
+    program: Program,
+    model: MemoryModel | str,
+    facts: StaticFacts | None = None,
+) -> SpeculationReport:
+    """Classify each load: safe or unsafe to alias-speculate.
+
+    Alias speculation (paper §5, Figures 8/9) drops the §5.1
+    address-resolution dependencies — a load no longer waits for the
+    producers of earlier register-computed addresses it is
+    same-address-checked against.  A load is **unsafe** when dropping
+    those dependencies lets some critical cycle that the
+    (non-speculative) model kept dead go live, i.e. speculation without
+    rollback would admit a new behavior through that load.  The global
+    check is joint — all dependencies dropped at once — so ``all_safe``
+    soundly implies the speculative model's outcome set equals the
+    non-speculative one.
+    """
+    if isinstance(model, str):
+        model = get_model(model)
+    baseline = (
+        replace(model, speculative_aliasing=False)
+        if model.speculative_aliasing
+        else model
+    )
+    if facts is None:
+        facts = compute_static_facts(program)
+    accesses = collect_accesses(program, facts)
+    cycles = find_critical_cycles(program, accesses)
+
+    full = {
+        thread.name: enforced_order(thread, baseline, facts)
+        for thread in program.threads
+    }
+    spec = {
+        thread.name: enforced_order(thread, baseline, facts, addr_deps=False)
+        for thread in program.threads
+    }
+    threads_by_name = {thread.name: thread for thread in program.threads}
+
+    #: (thread name, load index) -> producers its addr-deps point from.
+    targets: dict[str, set[int]] = {}
+    for tid, thread in enumerate(program.threads):
+        thread_facts = facts.threads[tid]
+        if thread_facts.analyzable and not baseline.speculative_aliasing:
+            targets[thread.name] = {
+                target
+                for _producer, target, _checked in _addr_dep_edges(
+                    thread, baseline, thread_facts
+                )
+            }
+        else:
+            targets[thread.name] = set()
+
+    def cycle_dead(matrices) -> bool:
+        return all(
+            matrices[first.thread][first.index][second.index]
+            for first, second in _cycle_po_pairs(cycle)
+        )
+
+    unsafe: dict[tuple[str, int], str] = {}
+    drop_cache: dict[tuple[str, int], list[list[bool]]] = {}
+
+    def drop_matrix(thread_name: str, target: int) -> list[list[bool]]:
+        key = (thread_name, target)
+        if key not in drop_cache:
+            drop_cache[key] = enforced_order(
+                threads_by_name[thread_name],
+                baseline,
+                facts,
+                drop_addr_dep_target=target,
+            )
+        return drop_cache[key]
+
+    for cycle in cycles:
+        if not cycle_dead(full) or cycle_dead(spec):
+            continue
+        # This cycle is kept dead only by address-resolution dependencies:
+        # joint speculation would admit its outcome.  Attribute it to the
+        # loads whose individual dependencies are load-bearing; if the
+        # enforcement is jointly redundant, blame every involved target.
+        description = " -> ".join(str(access) for access in cycle)
+        responsible: set[tuple[str, int]] = set()
+        involved: set[str] = {
+            first.thread for first, _second in _cycle_po_pairs(cycle)
+        }
+        for thread_name in involved:
+            for target in targets[thread_name]:
+                matrices = dict(full)
+                matrices[thread_name] = drop_matrix(thread_name, target)
+                if not cycle_dead(matrices):
+                    responsible.add((thread_name, target))
+        if not responsible:
+            responsible = {
+                (thread_name, target)
+                for thread_name in involved
+                for target in targets[thread_name]
+            }
+        for key in responsible:
+            unsafe.setdefault(
+                key, f"speculating it revives the critical cycle {description}"
+            )
+
+    verdicts = []
+    for tid, thread in enumerate(program.threads):
+        for index, instruction in enumerate(thread.code):
+            if not instruction.op_class.reads_memory():
+                continue
+            if facts.is_dead(tid, index):
+                continue
+            key = (thread.name, index)
+            if key in unsafe:
+                verdicts.append(
+                    LoadSpeculationVerdict(thread.name, index, False, unsafe[key])
+                )
+            elif index in targets[thread.name]:
+                verdicts.append(
+                    LoadSpeculationVerdict(
+                        thread.name,
+                        index,
+                        True,
+                        "its address-resolution dependency is not load-bearing "
+                        "in any critical cycle",
+                    )
+                )
+            else:
+                verdicts.append(
+                    LoadSpeculationVerdict(
+                        thread.name,
+                        index,
+                        True,
+                        "no address-resolution dependency targets it",
+                    )
+                )
+    return SpeculationReport(
+        program_name=program.name,
+        model_name=model.name,
+        loads=tuple(verdicts),
     )

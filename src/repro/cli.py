@@ -168,11 +168,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.static import analyze_program
 
+    precise = not args.syntactic
     if args.library:
         for test in all_tests():
             for model_name in args.model:
-                report = analyze_program(test.program, model_name)
-                caveat = " [conservative]" if report.conservative else ""
+                report = analyze_program(test.program, model_name, precise=precise)
+                if report.precise:
+                    exact, approx = report.finding_provenance()
+                    caveat = f" exact={exact} approx={approx}"
+                else:
+                    caveat = " [conservative]" if report.conservative else ""
                 print(
                     f"{test.name:<16} {model_name:<10} "
                     f"cycles={len(report.live_cycles)} races={len(report.races)} "
@@ -184,10 +189,27 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     test = _load_test(args.test)
     racy = False
     for model_name in args.model:
-        report = analyze_program(test.program, model_name)
+        report = analyze_program(test.program, model_name, precise=precise)
         print(report.summary())
         racy |= bool(report.races)
     return 1 if racy else 0
+
+
+def cmd_dataflow(args: argparse.Namespace) -> int:
+    from repro.analysis.static import (
+        compute_static_facts,
+        describe_facts,
+        speculation_safety,
+    )
+
+    test = _load_test(args.test)
+    facts = compute_static_facts(test.program)
+    print(describe_facts(facts))
+    for model_name in args.model:
+        report = speculation_safety(test.program, model_name, facts)
+        print()
+        print(report.summary())
+    return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -469,7 +491,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="memory model name (repeatable)",
     )
+    p_analyze.add_argument(
+        "--precise",
+        action="store_true",
+        help="use the dataflow layer for alias/constant precision (default)",
+    )
+    p_analyze.add_argument(
+        "--syntactic",
+        action="store_true",
+        help="disable the dataflow layer (PR-2 behavior: dynamic "
+        "addresses alias everything)",
+    )
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_dataflow = sub.add_parser(
+        "dataflow",
+        help="per-thread dataflow facts (address sets, dead code, "
+        "dependencies) + speculation-safety verdicts",
+    )
+    p_dataflow.add_argument("test", help="test name or .litmus file")
+    p_dataflow.add_argument(
+        "--model",
+        "-m",
+        action="append",
+        default=None,
+        help="model for speculation-safety verdicts (repeatable)",
+    )
+    p_dataflow.set_defaults(func=cmd_dataflow)
 
     p_run = sub.add_parser("run", help="run a litmus test (library name or file)")
     p_run.add_argument("test")

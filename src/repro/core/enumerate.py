@@ -39,6 +39,7 @@ import time
 import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import (
     AtomicityViolation,
@@ -50,6 +51,9 @@ from repro.core.candidates import candidate_stores
 from repro.core.execution import Execution
 from repro.isa.program import Program
 from repro.models.base import MemoryModel
+
+if TYPE_CHECKING:
+    from repro.analysis.static.dataflow import StaticFacts
 
 
 class ExhaustionReason(enum.Enum):
@@ -115,6 +119,8 @@ class EnumerationStats:
     stuck: int = 0  #: incomplete behaviors with no eligible load (bug guard)
     completed: int = 0  #: completed executions reached (pre-dedup)
     branched: int = 0  #: incomplete behaviors expanded by Load Resolution
+    candidates_scanned: int = 0  #: visible stores examined for candidacy
+    candidates_pruned: int = 0  #: of those, rejected by static alias facts
 
     def consistent(self) -> bool:
         """The pop-side accounting identity (see class docstring)."""
@@ -260,6 +266,7 @@ def enumerate_behaviors(
     *,
     strict: bool = False,
     token: CancellationToken | None = None,
+    facts: "StaticFacts | None" = None,
 ) -> EnumerationResult:
     """Enumerate all distinct executions of ``program`` under ``model``.
 
@@ -274,10 +281,16 @@ def enumerate_behaviors(
     :class:`ExhaustionReason` and a resumable checkpoint; ``strict=True``
     instead raises :class:`EnumerationError` as older versions did.
     ``token`` allows a supervisor to cancel the search cooperatively.
+
+    ``facts`` (from :func:`repro.analysis.static.dataflow.compute_static_facts`)
+    prunes the candidate-store scan and settles statically-certain alias
+    pairs at generation time — a pure accelerator: the behavior set is
+    byte-identical with and without it (TAB-DATAFLOW asserts this on the
+    whole litmus library).
     """
     limits = limits or EnumerationLimits()
 
-    initial = Execution.initial(program, model, limits.max_nodes_per_thread)
+    initial = Execution.initial(program, model, limits.max_nodes_per_thread, facts)
     worklist: list[Execution] = [initial]
     seen_states: set = {initial.state_key()}
     return _search(
@@ -438,7 +451,7 @@ def _branch(
     """Expand one behavior by Load Resolution.  Returns an exhaustion
     reason when a fault forces the search to degrade, else None."""
     for load in eligible:
-        for store in candidate_stores(behavior, load):
+        for store in candidate_stores(behavior, load, stats):
             stats.resolutions += 1
             try:
                 child = behavior.copy()

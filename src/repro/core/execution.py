@@ -23,6 +23,7 @@ in :mod:`repro.core.enumerate`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import EnumerationError, ExecutionError, GraphError
 from repro.core.atomicity import close_store_atomicity
@@ -42,6 +43,9 @@ from repro.isa.instructions import (
 from repro.isa.operands import Const, Operand, Reg, Value
 from repro.isa.program import Program
 from repro.models.base import MemoryModel, OrderRequirement
+
+if TYPE_CHECKING:
+    from repro.analysis.static.dataflow import StaticFacts
 
 #: Sentinel meaning "operand value not yet available".
 _UNAVAILABLE = object()
@@ -92,10 +96,15 @@ class Execution:
         program: Program,
         model: MemoryModel,
         max_nodes_per_thread: int = 64,
+        facts: "StaticFacts | None" = None,
     ) -> None:
         self.program = program
         self.model = model
         self.max_nodes_per_thread = max_nodes_per_thread
+        #: optional dataflow facts (repro.analysis.static.dataflow) used
+        #: to decide statically-certain alias pairs at generation time —
+        #: a sound accelerator, never a semantic change.
+        self.facts = facts
         self.graph = ExecutionGraph()
         self.threads: list[ThreadState] = [ThreadState() for _ in program.threads]
         self.init_nodes: dict[Value, int] = {}
@@ -108,10 +117,14 @@ class Execution:
 
     @classmethod
     def initial(
-        cls, program: Program, model: MemoryModel, max_nodes_per_thread: int = 64
+        cls,
+        program: Program,
+        model: MemoryModel,
+        max_nodes_per_thread: int = 64,
+        facts: "StaticFacts | None" = None,
     ) -> "Execution":
         """The starting behavior: init stores + saturated generation."""
-        execution = cls(program, model, max_nodes_per_thread)
+        execution = cls(program, model, max_nodes_per_thread, facts)
         execution.stabilize()
         return execution
 
@@ -139,6 +152,7 @@ class Execution:
         dup.program = self.program
         dup.model = self.model
         dup.max_nodes_per_thread = self.max_nodes_per_thread
+        dup.facts = self.facts
         dup.graph = self.graph.copy()
         dup.threads = [ts.copy() for ts in self.threads]
         dup.init_nodes = dict(self.init_nodes)
@@ -165,14 +179,17 @@ class Execution:
                         f"(unbounded loop?)"
                     )
                 instruction = code[state.pc]
+                static_pc = state.pc
                 state.pc += 1
-                nid = self._append_node(tid, instruction)
+                nid = self._append_node(tid, instruction, static_pc)
                 if isinstance(instruction, Branch):
                     state.waiting_branch = nid
                 progress = True
         return progress
 
-    def _append_node(self, tid: int, instruction: Instruction) -> int:
+    def _append_node(
+        self, tid: int, instruction: Instruction, static_index: int | None = None
+    ) -> int:
         state = self.threads[tid]
         operands = instruction_operands(instruction)
         sources = tuple(
@@ -185,6 +202,7 @@ class Execution:
             instruction=instruction,
             op_class=instruction.op_class,
             operand_sources=sources,
+            static_index=static_index,
         )
         self.graph.add_node(node)
 
@@ -224,6 +242,14 @@ class Execution:
         Otherwise the pair is deferred until both addresses resolve; in the
         non-speculative model the later operation additionally depends on
         the instruction producing the earlier operation's address (§5.1).
+
+        Dataflow facts settle register-computed pairs statically: a
+        must-alias pair gets its ordering edge at generation time (the
+        address producer is then ordered transitively, so no separate
+        §5.1 edge is needed), a must-not-alias pair will never produce a
+        same-address edge so the deferred check is dropped — but its
+        §5.1 address-resolution dependency is *kept*: the machine still
+        waits for the address to perform the check (Figure 8's S7/L8).
         """
         prior_addr = prior.instruction.addr_operand() if prior.instruction else None
         node_addr = node.instruction.addr_operand() if node.instruction else None
@@ -231,7 +257,23 @@ class Execution:
             if prior_addr.value == node_addr.value:
                 self.graph.add_edge(prior.nid, node.nid, EdgeKind.PROGRAM)
             return
-        self.pending_alias.append((prior.nid, node.nid))
+        if (
+            self.facts is not None
+            and prior.static_index is not None
+            and node.static_index is not None
+        ):
+            from repro.analysis.static.dataflow import AliasVerdict
+
+            verdict = self.facts.pair_verdict(
+                prior.tid, prior.static_index, node.tid, node.static_index
+            )
+            if verdict == AliasVerdict.MUST:
+                self.graph.add_edge(prior.nid, node.nid, EdgeKind.PROGRAM)
+                return
+            if verdict == AliasVerdict.MAY:
+                self.pending_alias.append((prior.nid, node.nid))
+        else:
+            self.pending_alias.append((prior.nid, node.nid))
         if not self.model.speculative_aliasing and isinstance(prior_addr, Reg):
             producer = prior.operand_sources[0]  # addr is operand 0 for memory ops
             if producer is not None:

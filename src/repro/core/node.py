@@ -37,6 +37,10 @@ class Node:
       * ``operand_sources`` — for each operand (in the instruction's
         canonical operand order), the nid of the node producing its value,
         or None when the operand is a constant or an unwritten register.
+      * ``static_index`` — the instruction's position in the thread's
+        static code (differs from ``index`` after a backwards branch;
+        None for init stores).  Keys the node into the dataflow facts of
+        :mod:`repro.analysis.static.dataflow`.
 
     Dynamic:
       * ``executed`` — value computed / load resolved / branch decided.
@@ -55,6 +59,7 @@ class Node:
     instruction: Instruction | None
     op_class: OpClass
     operand_sources: tuple[int | None, ...] = ()
+    static_index: int | None = None
     executed: bool = False
     value: Value | None = None
     addr: Value | None = None
@@ -98,6 +103,7 @@ class Node:
             instruction=self.instruction,
             op_class=self.op_class,
             operand_sources=self.operand_sources,
+            static_index=self.static_index,
             executed=self.executed,
             value=self.value,
             addr=self.addr,

@@ -12,6 +12,13 @@ certainly not the test you meant — e.g. a memory access through a
 never-written address register targets location 0 in every execution),
 ``WARNING`` (suspicious, probably a typo), and ``INFO`` (worth knowing,
 harmless).
+
+The read-before-write checks run on the reaching-definitions pass from
+:mod:`repro.analysis.static.dataflow` (imported lazily — this module is
+re-exported from ``repro.isa`` and the dataflow layer builds on the
+ISA): a register defined on *every* path to a use is never flagged,
+even when no single straight-line scan can prove it.  Looping threads
+fall back to the linear scan.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.isa.instructions import Branch, Fence
-from repro.isa.operands import Const, Reg
+from repro.isa.operands import Reg
 from repro.isa.program import Program, Thread
 
 
@@ -43,26 +50,44 @@ class LintFinding:
         return f"{self.level.value}: {where}{self.message}"
 
 
-def _lint_thread(thread: Thread) -> list[LintFinding]:
-    findings: list[LintFinding] = []
+def _linear_uninit_uses(thread: Thread) -> set[tuple[int, str]]:
+    """(index, register) uses before any write, by straight-line scan —
+    the fallback for threads the dataflow layer cannot analyze."""
     written: set[str] = set()
-    read_before_write: set[str] = set()
-    address_before_write: set[str] = set()
-    write_counts: dict[str, int] = {}
-
-    for instruction in thread.code:
-        addr = instruction.addr_operand() if instruction.op_class.is_memory() else None
-        address_registers = {addr.name} if isinstance(addr, Reg) else set()
+    uses: set[tuple[int, str]] = set()
+    for index, instruction in enumerate(thread.code):
         for register in instruction.sources():
-            if register.name in written:
-                continue
-            if register.name in address_registers:
-                address_before_write.add(register.name)
-            else:
-                read_before_write.add(register.name)
+            if register.name not in written:
+                uses.add((index, register.name))
         destination = instruction.dest()
         if destination is not None:
             written.add(destination.name)
+    return uses
+
+
+def _uninit_uses(thread: Thread, maybe_uninit) -> set[tuple[int, str]]:
+    if maybe_uninit is None:
+        return _linear_uninit_uses(thread)
+    return set(maybe_uninit)
+
+
+def _lint_thread(thread: Thread, maybe_uninit=None) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    read_before_write: set[str] = set()
+    address_before_write: set[str] = set()
+
+    for index, register in _uninit_uses(thread, maybe_uninit):
+        instruction = thread.code[index]
+        addr = instruction.addr_operand() if instruction.op_class.is_memory() else None
+        if isinstance(addr, Reg) and addr.name == register:
+            address_before_write.add(register)
+        else:
+            read_before_write.add(register)
+
+    write_counts: dict[str, int] = {}
+    for instruction in thread.code:
+        destination = instruction.dest()
+        if destination is not None:
             write_counts[destination.name] = write_counts.get(destination.name, 0) + 1
 
     for register in sorted(address_before_write):
@@ -126,29 +151,32 @@ def _lint_thread(thread: Thread) -> list[LintFinding]:
 
 
 def _static_reads_writes(program: Program) -> tuple[set[str], set[str], bool]:
+    """Locations statically read/written, plus a dynamic-addressing flag.
+    A thin wrapper over the shared collector in the dataflow module."""
+    from repro.analysis.static.dataflow import collect_memory_accesses
+
     reads: set[str] = set()
     writes: set[str] = set()
     dynamic = False
-    for thread in program.threads:
-        for instruction in thread.code:
-            if not instruction.op_class.is_memory():
-                continue
-            addr = instruction.addr_operand()
-            if not isinstance(addr, Const) or not isinstance(addr.value, str):
-                dynamic = True
-                continue
-            if instruction.op_class.reads_memory():
-                reads.add(addr.value)
-            if instruction.op_class.writes_memory():
-                writes.add(addr.value)
+    for site in collect_memory_accesses(program):
+        if site.location is None:
+            dynamic = True
+            continue
+        if "R" in site.kind:
+            reads.add(site.location)
+        if "W" in site.kind:
+            writes.add(site.location)
     return reads, writes, dynamic
 
 
 def lint_program(program: Program) -> list[LintFinding]:
     """All findings for ``program``, threads first, then globals."""
+    from repro.analysis.static.dataflow import compute_static_facts
+
+    facts = compute_static_facts(program)
     findings: list[LintFinding] = []
-    for thread in program.threads:
-        findings.extend(_lint_thread(thread))
+    for tid, thread in enumerate(program.threads):
+        findings.extend(_lint_thread(thread, facts.threads[tid].maybe_uninit))
 
     reads, writes, dynamic = _static_reads_writes(program)
     if dynamic:
