@@ -1,0 +1,307 @@
+"""Benchmark: the sharded parallel engine and the copy-on-write hot path.
+
+Three sections, all recorded in one BENCH json (the perf trajectory):
+
+* **Scaling programs** (TAB-SCALE's families, at sizes where a single
+  enumeration takes real wall-clock time): sequential vs parallel with
+  2 and 4 workers, with an outcome-equality gate — the parallel engine
+  must return the identical sorted Load–Store graph set and register
+  outcomes.
+* **Speedup floor**: ≥1.5× at workers=4 on the scaling programs.  The
+  gate is enforced only when the machine actually has ≥4 CPUs;
+  otherwise it is recorded as skipped (with the reason) — a speedup
+  floor on a single-core container would measure the scheduler, not the
+  engine.
+* **Hot-path microbenchmarks**: per-branch cost of `Execution.copy()`
+  (copy-on-write) vs an eager deep graph copy (what the seed did), and
+  of the bitset-derived `state_key()` vs a faithful reconstruction of
+  the seed's key (which re-materialized the full reachability relation
+  per child).  Gated: COW copy must beat eager copy by ≥1.2×, and the
+  combined per-branch copy+key cost must beat the seed's by ≥1.1×.
+
+Exits nonzero when any gate fails.  The CI smoke job runs this with
+``--quick`` (smaller programs, workers=2 only — the equality gates still
+bite; the speedup floor needs the full run on a multicore machine).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--quick]
+        [--out BENCH_parallel.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.core.enumerate import ParallelEnumerationConfig, enumerate_behaviors
+from repro.experiments.scaling import chain_program, sb_chain
+from repro.litmus.families import mp_chain, sb_ring
+from repro.litmus.library import get_test
+from repro.models.registry import get_model
+
+#: Acceptance floor for the workers=4 speedup on the scaling programs
+#: (geometric mean), enforced when the machine has ≥4 CPUs.
+MIN_SPEEDUP = 1.5
+#: Acceptance floor for copy-on-write vs eager copy in the microbench.
+MIN_COPY_RATIO = 1.2
+#: Acceptance floor for the combined per-branch cost (copy + state_key)
+#: vs the seed's (eager copy + materialized-reachability key) — the
+#: number the search actually pays per Load-Resolution branch.
+MIN_BRANCH_RATIO = 1.1
+
+
+def scaling_workloads(quick: bool) -> list[tuple]:
+    """(program, model_name) pairs where enumeration takes real time."""
+    if quick:
+        return [
+            (chain_program(4), "weak"),
+            (sb_chain(2), "weak"),
+        ]
+    return [
+        (chain_program(4), "weak"),
+        (chain_program(5), "weak"),
+        (sb_chain(2), "weak"),
+        (sb_ring(3).program, "tso"),
+        (mp_chain(2).program, "weak"),
+    ]
+
+
+def geometric_mean(values: list[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values)) if values else 0.0
+
+
+def bench_scaling(quick: bool) -> tuple[list[dict], bool]:
+    worker_counts = (2,) if quick else (2, 4)
+    rows = []
+    all_equal = True
+    for program, model_name in scaling_workloads(quick):
+        model = get_model(model_name)
+        start = time.perf_counter()
+        sequential = enumerate_behaviors(program, model)
+        seq_seconds = time.perf_counter() - start
+        row = {
+            "program": program.name,
+            "model": model_name,
+            "executions": len(sequential),
+            "explored": sequential.stats.explored,
+            "seconds_sequential": seq_seconds,
+        }
+        for workers in worker_counts:
+            config = ParallelEnumerationConfig(workers=workers)
+            start = time.perf_counter()
+            parallel = enumerate_behaviors(program, model, parallel=config)
+            row[f"seconds_workers_{workers}"] = time.perf_counter() - start
+            equal = parallel.complete and (
+                [e.loadstore_key() for e in parallel.executions]
+                == [e.loadstore_key() for e in sequential.executions]
+                and parallel.register_outcomes() == sequential.register_outcomes()
+            )
+            row[f"equal_workers_{workers}"] = equal
+            all_equal &= equal
+        rows.append(row)
+    return rows, all_equal
+
+
+def seed_style_state_key(behavior) -> tuple:
+    """A faithful reconstruction of the seed's ``state_key`` — node
+    states plus the *fully materialized* reachability relation as a
+    frozenset of identity pairs — used as the microbench baseline the
+    bitset-derived key is measured against."""
+    graph = behavior.graph
+    identity = {node.nid: (node.tid, node.index) for node in graph.nodes}
+    node_states = tuple(
+        sorted(
+            (
+                node.tid,
+                node.index,
+                node.op_class.value,
+                node.executed,
+                node.value,
+                node.addr,
+                identity[node.source] if node.source is not None else None,
+                node.writes,
+                node.stored,
+            )
+            for node in graph.nodes
+        )
+    )
+    order_pairs = frozenset(
+        (identity[u], identity[v]) for u, v in graph.reachability_pairs()
+    )
+    bypass = frozenset(
+        (identity[u], identity[v]) for u, v in graph.bypass_edges()
+    )
+    thread_states = tuple(
+        (
+            state.pc,
+            state.halted,
+            state.waiting_branch is not None,
+            tuple(sorted((reg, identity[nid]) for reg, nid in state.regs.items())),
+        )
+        for state in behavior.threads
+    )
+    pending = frozenset(
+        (identity[u], identity[v]) for u, v in behavior.pending_alias
+    )
+    return (node_states, order_pairs, bypass, thread_states, pending)
+
+
+def bench_hot_path() -> dict:
+    """Per-branch microbenchmarks on a representative mid-search state."""
+    program = chain_program(5)
+    model = get_model("weak")
+    # A behavior some way into the search: enumerate a few behaviors and
+    # keep the deepest worklist entry of a budgeted run.
+    from repro.core.enumerate import EnumerationLimits
+
+    partial = enumerate_behaviors(
+        program, model, EnumerationLimits(max_behaviors=40)
+    )
+    behavior = partial.checkpoint.worklist[-1]
+
+    def per_call_us(function, repeats: int = 2000, trials: int = 5) -> float:
+        # Best-of-N: the minimum is the least noise-contaminated
+        # estimate of the true per-call cost.
+        best = float("inf")
+        for _ in range(trials):
+            start = time.perf_counter()
+            for _ in range(repeats):
+                function()
+            best = min(best, (time.perf_counter() - start) / repeats * 1e6)
+        return best
+
+    cow_copy_us = per_call_us(behavior.copy)
+    eager_copy_us = per_call_us(behavior.graph.copy)  # the seed's copy
+    state_key_us = per_call_us(behavior.state_key)
+    loadstore_key_us = per_call_us(behavior.loadstore_key)
+    seed_key_us = per_call_us(lambda: seed_style_state_key(behavior))
+
+    branch_us = cow_copy_us + state_key_us
+    seed_branch_us = eager_copy_us + seed_key_us
+    return {
+        "graph_nodes": len(behavior.graph.nodes),
+        "cow_copy_us": cow_copy_us,
+        "eager_copy_us": eager_copy_us,
+        "copy_ratio": eager_copy_us / cow_copy_us if cow_copy_us else 0.0,
+        "state_key_us": state_key_us,
+        "loadstore_key_us": loadstore_key_us,
+        "seed_state_key_us": seed_key_us,
+        "branch_us": branch_us,
+        "seed_branch_us": seed_branch_us,
+        "branch_ratio": seed_branch_us / branch_us if branch_us else 0.0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller programs, workers=2 only (CI smoke)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_parallel.json",
+        help="path for the BENCH json (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    rows, all_equal = bench_scaling(args.quick)
+    hot_path = bench_hot_path()
+
+    speedups = [
+        row["seconds_sequential"] / row["seconds_workers_4"]
+        for row in rows
+        if row.get("seconds_workers_4")
+    ]
+    speedup_mean = geometric_mean(speedups)
+    enforce_speedup = cpus >= 4 and not args.quick
+    speedup_skip_reason = None
+    if not enforce_speedup:
+        speedup_skip_reason = (
+            "--quick run (workers=4 not measured)"
+            if args.quick
+            else f"machine has {cpus} CPU(s) < 4 — a speedup floor here "
+            f"would measure the scheduler, not the engine"
+        )
+
+    result = {
+        "benchmark": "parallel-enumeration",
+        "quick": args.quick,
+        "cpu_count": cpus,
+        "scaling": rows,
+        "all_outcomes_equal": all_equal,
+        "speedup_workers_4_geomean": speedup_mean if speedups else None,
+        "speedup_floor": MIN_SPEEDUP,
+        "speedup_gate_enforced": enforce_speedup,
+        "speedup_gate_skip_reason": speedup_skip_reason,
+        "hot_path": hot_path,
+        "copy_ratio_floor": MIN_COPY_RATIO,
+        "branch_ratio_floor": MIN_BRANCH_RATIO,
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    for row in rows:
+        timings = "  ".join(
+            f"w{workers}={row[f'seconds_workers_{workers}']:.2f}s"
+            for workers in (2, 4)
+            if f"seconds_workers_{workers}" in row
+        )
+        print(
+            f"BENCH {row['program']}/{row['model']}: "
+            f"seq={row['seconds_sequential']:.2f}s  {timings}  "
+            f"({row['executions']} executions)"
+        )
+    print(
+        f"BENCH hot path ({hot_path['graph_nodes']} nodes): "
+        f"copy {hot_path['cow_copy_us']:.1f}µs (eager {hot_path['eager_copy_us']:.1f}µs, "
+        f"{hot_path['copy_ratio']:.1f}x), "
+        f"state_key {hot_path['state_key_us']:.1f}µs, "
+        f"loadstore_key {hot_path['loadstore_key_us']:.1f}µs; "
+        f"per-branch copy+key {hot_path['branch_us']:.1f}µs vs seed "
+        f"{hot_path['seed_branch_us']:.1f}µs ({hot_path['branch_ratio']:.2f}x)"
+    )
+    if speedups:
+        print(f"BENCH speedup at workers=4 (geomean): {speedup_mean:.2f}x")
+    if speedup_skip_reason:
+        print(f"BENCH speedup gate skipped: {speedup_skip_reason}")
+    print(f"BENCH json written to {args.out}")
+
+    status = 0
+    if not all_equal:
+        print("FAIL: parallel and sequential outcomes differ", file=sys.stderr)
+        status = 1
+    if enforce_speedup and speedup_mean < MIN_SPEEDUP:
+        print(
+            f"FAIL: workers=4 speedup {speedup_mean:.2f}x < {MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        status = 1
+    if hot_path["copy_ratio"] < MIN_COPY_RATIO:
+        print(
+            f"FAIL: copy-on-write copy only {hot_path['copy_ratio']:.2f}x faster "
+            f"than eager copy (floor {MIN_COPY_RATIO}x)",
+            file=sys.stderr,
+        )
+        status = 1
+    if hot_path["branch_ratio"] < MIN_BRANCH_RATIO:
+        print(
+            f"FAIL: per-branch copy+key cost only {hot_path['branch_ratio']:.2f}x "
+            f"better than seed (floor {MIN_BRANCH_RATIO}x)",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ from repro.core import (
     EnumerationResult,
     ExhaustionReason,
     Execution,
+    ParallelEnumerationConfig,
     check_store_atomicity,
     close_store_atomicity,
     enumerate_behaviors,
@@ -57,6 +58,7 @@ __all__ = [
     "EnumerationResult",
     "ExhaustionReason",
     "Execution",
+    "ParallelEnumerationConfig",
     "resume_enumeration",
     "check_store_atomicity",
     "close_store_atomicity",

@@ -8,6 +8,8 @@ Usage examples::
     python -m repro run my_test.litmus -m weak  # ... or a file
     python -m repro run SB -m weak --dot sb.dot # emit a Graphviz graph
     python -m repro enumerate MP -m weak --graphs 2
+    python -m repro enumerate IRIW -m weak --workers 4  # parallel engine
+    python -m repro enumerate --library -m weak --jobs 4
     python -m repro matrix --models sc,tso,weak
     python -m repro wellsync MP -m weak --sync flag
     python -m repro analyze SB -m weak -m tso    # static delay-set analysis
@@ -28,9 +30,11 @@ from repro.analysis.wellsync import check_well_synchronized
 from repro.core.enumerate import (
     EnumerationCheckpoint,
     EnumerationLimits,
+    ParallelEnumerationConfig,
     enumerate_behaviors,
     resume_enumeration,
 )
+from repro.experiments.base import parallel_map
 from repro.experiments.fig1 import render_table
 from repro.litmus.library import all_tests, get_test, test_names
 from repro.litmus.runner import format_matrix, run_litmus, run_matrix
@@ -70,6 +74,43 @@ def _limits(args: argparse.Namespace) -> EnumerationLimits:
 
 def _strict(args: argparse.Namespace) -> bool:
     return bool(getattr(args, "strict", False))
+
+
+def _parallel(args: argparse.Namespace) -> ParallelEnumerationConfig | None:
+    workers = getattr(args, "workers", 0)
+    return ParallelEnumerationConfig(workers=workers) if workers else None
+
+
+def _enumerate_pair(task: tuple) -> tuple:
+    """Process-pool work unit for ``enumerate --library``: one (test,
+    model) cell, returned as a rendered summary row."""
+    name, model_name, limits, workers = task
+    test = get_test(name)
+    parallel = ParallelEnumerationConfig(workers=workers) if workers else None
+    result = enumerate_behaviors(
+        test.program, get_model(model_name), limits, parallel=parallel
+    )
+    return (name, model_name, len(result), result.stats.explored, result.status)
+
+
+def _analyze_pair(task: tuple) -> str:
+    """Process-pool work unit for ``analyze --library``: one (test,
+    model) static analysis, returned as a rendered line."""
+    from repro.analysis.static import analyze_program
+
+    name, model_name, precise = task
+    test = get_test(name)
+    report = analyze_program(test.program, model_name, precise=precise)
+    if report.precise:
+        exact, approx = report.finding_provenance()
+        caveat = f" exact={exact} approx={approx}"
+    else:
+        caveat = " [conservative]" if report.conservative else ""
+    return (
+        f"{name:<16} {model_name:<10} "
+        f"cycles={len(report.live_cycles)} races={len(report.races)} "
+        f"delays={len(report.delays)}{caveat}"
+    )
 
 
 def _auto_lint(test: LitmusTest, args: argparse.Namespace) -> int | None:
@@ -170,19 +211,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     precise = not args.syntactic
     if args.library:
-        for test in all_tests():
-            for model_name in args.model:
-                report = analyze_program(test.program, model_name, precise=precise)
-                if report.precise:
-                    exact, approx = report.finding_provenance()
-                    caveat = f" exact={exact} approx={approx}"
-                else:
-                    caveat = " [conservative]" if report.conservative else ""
-                print(
-                    f"{test.name:<16} {model_name:<10} "
-                    f"cycles={len(report.live_cycles)} races={len(report.races)} "
-                    f"delays={len(report.delays)}{caveat}"
-                )
+        tasks = [
+            (test.name, model_name, precise)
+            for test in all_tests()
+            for model_name in args.model
+        ]
+        for line in parallel_map(_analyze_pair, tasks, getattr(args, "jobs", 1)):
+            print(line)
         return 0
     if not args.test:
         raise ReproError("analyze requires a test name (or --library)")
@@ -248,14 +283,31 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_enumerate(args: argparse.Namespace) -> int:
+    if args.library:
+        tasks = [
+            (test.name, model_name, _limits(args), args.workers)
+            for test in all_tests()
+            for model_name in args.model
+        ]
+        rows = parallel_map(_enumerate_pair, tasks, args.jobs)
+        for name, model_name, count, explored, status in rows:
+            print(
+                f"{name:<16} {model_name:<10} {count:>4} executions "
+                f"(explored {explored}) [{status}]"
+            )
+        return 0
     if not args.resume and not args.test:
-        raise ReproError("enumerate requires a test name (or --resume CHECKPOINT)")
+        raise ReproError(
+            "enumerate requires a test name (or --resume CHECKPOINT, or --library)"
+        )
     if args.resume:
         # A resume takes this invocation's budgets (defaults unless
         # flags are given) — counting budgets are cumulative, so the
         # defaults let an exhausted search make progress.
         checkpoint = EnumerationCheckpoint.load(args.resume)
-        result = resume_enumeration(checkpoint, _limits(args), strict=_strict(args))
+        result = resume_enumeration(
+            checkpoint, _limits(args), strict=_strict(args), parallel=_parallel(args)
+        )
         name = checkpoint.program.name
         model_name = checkpoint.model.name
     else:
@@ -266,7 +318,11 @@ def cmd_enumerate(args: argparse.Namespace) -> int:
         name = test.name
         model_name = args.model[0]
         result = enumerate_behaviors(
-            test.program, get_model(model_name), _limits(args), strict=_strict(args)
+            test.program,
+            get_model(model_name),
+            _limits(args),
+            strict=_strict(args),
+            parallel=_parallel(args),
         )
     print(
         f"{name} under {model_name}: {len(result)} distinct executions "
@@ -407,6 +463,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     argv = ["--markdown", args.markdown] if args.markdown else []
     if args.deadline is not None:
         argv += ["--deadline", str(args.deadline)]
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
     return report_main(argv)
 
 
@@ -502,6 +560,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the dataflow layer (PR-2 behavior: dynamic "
         "addresses alias everything)",
     )
+    p_analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --library, fan (test, model) pairs across N worker processes",
+    )
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_dataflow = sub.add_parser(
@@ -532,9 +597,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=cmd_run)
 
     p_enum = sub.add_parser("enumerate", help="enumerate all behaviors of a test")
-    p_enum.add_argument("test", nargs="?", help="test name/file (omit with --resume)")
+    p_enum.add_argument(
+        "test", nargs="?", help="test name/file (omit with --resume or --library)"
+    )
     add_common(p_enum)
     p_enum.add_argument("--graphs", type=int, default=0, help="print the first N graphs")
+    p_enum.add_argument(
+        "--library",
+        action="store_true",
+        help="enumerate every library test under each --model (summary rows)",
+    )
+    p_enum.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --library, fan (test, model) pairs across N worker processes",
+    )
+    p_enum.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="use the sharded parallel engine with N worker processes "
+        "for each enumeration (0 = sequential)",
+    )
     p_enum.add_argument(
         "--max-behaviors", type=int, default=None, help="behavior-exploration budget"
     )
@@ -632,6 +719,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="per-experiment wall-clock budget; hung experiments become ERROR rows",
+    )
+    p_exp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the experiments across N worker processes",
     )
     p_exp.set_defaults(func=cmd_experiments)
 

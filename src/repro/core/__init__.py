@@ -9,6 +9,7 @@ from repro.core.enumerate import (
     EnumerationResult,
     EnumerationStats,
     ExhaustionReason,
+    ParallelEnumerationConfig,
     enumerate_behaviors,
     resume_enumeration,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "EnumerationResult",
     "EnumerationStats",
     "ExhaustionReason",
+    "ParallelEnumerationConfig",
     "enumerate_behaviors",
     "resume_enumeration",
     "Execution",

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import EnumerationError, ExecutionError, GraphError
 from repro.core.atomicity import close_store_atomicity
-from repro.core.graph import EdgeKind, ExecutionGraph, iter_bits
+from repro.core.graph import EdgeKind, ExecutionGraph, iter_bits, remap_mask
 from repro.core.node import INIT_TID, Node
 from repro.isa.instructions import (
     Branch,
@@ -148,14 +148,22 @@ class Execution:
             self.init_nodes[location] = node.nid
 
     def copy(self) -> "Execution":
+        """The Load-Resolution branching copy (hot path).
+
+        The graph is copied copy-on-write: settled nodes and successor
+        dicts are shared with the parent until first mutation.  This is
+        safe because the engine only ever mutates unsettled nodes (which
+        :meth:`ExecutionGraph.copy_on_write` clones eagerly) and all
+        edge insertion goes through ``add_edge``.
+        """
         dup = Execution.__new__(Execution)
         dup.program = self.program
         dup.model = self.model
         dup.max_nodes_per_thread = self.max_nodes_per_thread
         dup.facts = self.facts
-        dup.graph = self.graph.copy()
+        dup.graph = self.graph.copy_on_write()
         dup.threads = [ts.copy() for ts in self.threads]
-        dup.init_nodes = dict(self.init_nodes)
+        dup.init_nodes = self.init_nodes  # write-once at construction
         dup.pending_alias = list(self.pending_alias)
         return dup
 
@@ -583,35 +591,56 @@ class Execution:
         node = self.graph.node(nid)
         return (node.tid, node.index)
 
+    def _canonical_ranks(self) -> tuple[list[int], list[int]]:
+        """Node ids sorted by (tid, index) identity, plus the inverse
+        permutation (nid -> canonical rank).  Two executions of the same
+        behavior list the same identities in the same canonical order
+        even when their nid assignment order differs."""
+        nodes = self.graph.nodes
+        order = sorted(range(len(nodes)), key=lambda nid: (nodes[nid].tid, nodes[nid].index))
+        rank = [0] * len(nodes)
+        for position, nid in enumerate(order):
+            rank[nid] = position
+        return order, rank
+
+    def _bypass_identities(self) -> tuple:
+        return tuple(
+            sorted((self._identity(u), self._identity(v)) for u, v in self.graph.bypass_edges())
+        )
+
     def state_key(self) -> tuple:
         """A canonical key for the *full* behavior state.
 
         Two behaviors with equal keys evolve identically, so the
         enumerator may keep only one.  Node identity is (tid, index) —
-        nid assignment order can differ between resolution orders."""
+        nid assignment order can differ between resolution orders.
+
+        The ⊑ relation is encoded directly from the per-node ancestor
+        bitsets, permuted into canonical node order (``anc_sig``) —
+        equality over those ints is equality of the relation over
+        identities, without materializing the O(n²) pair set.  The key
+        contains only tuples/ints/strings/bools/None, so its ``repr`` is
+        deterministic across processes (no set iteration order) — the
+        property the digest-based dedup and the parallel engine rely on.
+        """
+        graph = self.graph
+        nodes = graph.nodes
+        order, rank = self._canonical_ranks()
         node_states = tuple(
-            sorted(
-                (
-                    node.tid,
-                    node.index,
-                    node.op_class.value,
-                    node.executed,
-                    node.value,
-                    node.addr,
-                    self._identity(node.source) if node.source is not None else None,
-                    node.writes,
-                    node.stored,
-                )
-                for node in self.graph.nodes
+            (
+                node.tid,
+                node.index,
+                node.op_class.value,
+                node.executed,
+                node.value,
+                node.addr,
+                self._identity(node.source) if node.source is not None else None,
+                node.writes,
+                node.stored,
             )
+            for node in (nodes[nid] for nid in order)
         )
-        order_pairs = frozenset(
-            (self._identity(u), self._identity(v))
-            for u, v in self.graph.reachability_pairs()
-        )
-        bypass = frozenset(
-            (self._identity(u), self._identity(v)) for u, v in self.graph.bypass_edges()
-        )
+        anc_sig = tuple(remap_mask(graph.ancestors_mask(nid), rank) for nid in order)
         thread_states = tuple(
             (
                 state.pc,
@@ -621,39 +650,41 @@ class Execution:
             )
             for state in self.threads
         )
-        pending = frozenset(
-            (self._identity(u), self._identity(v)) for u, v in self.pending_alias
+        pending = tuple(
+            sorted((self._identity(u), self._identity(v)) for u, v in self.pending_alias)
         )
-        return (node_states, order_pairs, bypass, thread_states, pending)
+        return (node_states, anc_sig, self._bypass_identities(), thread_states, pending)
 
     def loadstore_key(self) -> tuple:
         """The paper's Load–Store-graph comparison key (§4.1): memory
-        operations only, with the ⊑ relation projected onto them."""
-        memory_nids = [node.nid for node in self.graph.nodes if node.is_memory]
-        memory_set = set(memory_nids)
+        operations only, with the ⊑ relation projected onto them (as
+        canonical-rank ancestor bitsets, like :meth:`state_key`)."""
+        graph = self.graph
+        nodes = graph.nodes
+        order, _ = self._canonical_ranks()
+        memory_order = [nid for nid in order if nodes[nid].is_memory]
+        memory_mask = 0
+        memory_rank = [0] * len(nodes)
+        for position, nid in enumerate(memory_order):
+            memory_mask |= 1 << nid
+            memory_rank[nid] = position
         descriptors = tuple(
-            sorted(
-                (
-                    node.tid,
-                    node.index,
-                    node.op_class.value,
-                    node.addr,
-                    node.value if node.reads_memory else None,
-                    node.stored if node.writes else None,
-                    self._identity(node.source) if node.source is not None else None,
-                )
-                for node in (self.graph.node(nid) for nid in memory_nids)
+            (
+                node.tid,
+                node.index,
+                node.op_class.value,
+                node.addr,
+                node.value if node.reads_memory else None,
+                node.stored if node.writes else None,
+                self._identity(node.source) if node.source is not None else None,
             )
+            for node in (nodes[nid] for nid in memory_order)
         )
-        projected = frozenset(
-            (self._identity(u), self._identity(v))
-            for u, v in self.graph.reachability_pairs()
-            if u in memory_set and v in memory_set
+        projected = tuple(
+            remap_mask(graph.ancestors_mask(nid) & memory_mask, memory_rank)
+            for nid in memory_order
         )
-        bypass = frozenset(
-            (self._identity(u), self._identity(v)) for u, v in self.graph.bypass_edges()
-        )
-        return (descriptors, projected, bypass)
+        return (descriptors, projected, self._bypass_identities())
 
     def describe(self) -> str:
         lines = [f"Execution of {self.program.name!r} under {self.model.name}:"]

@@ -66,6 +66,20 @@ def iter_bits(mask: int) -> Iterator[int]:
         mask ^= low
 
 
+def remap_mask(mask: int, rank: list[int]) -> int:
+    """Permute a bitset: bit ``b`` of ``mask`` becomes bit ``rank[b]``.
+
+    Used to express per-node reachability bitsets in a canonical node
+    order, so behaviors can be compared without materializing the full
+    ⊑ relation as a set of pairs."""
+    out = 0
+    while mask:
+        low = mask & -mask
+        out |= 1 << rank[low.bit_length() - 1]
+        mask ^= low
+    return out
+
+
 class ExecutionGraph:
     """A growable DAG with typed edges and incremental reachability.
 
@@ -73,13 +87,14 @@ class ExecutionGraph:
     (strict: a node is not before itself).
     """
 
-    __slots__ = ("nodes", "_anc", "_desc", "_succ", "_bypass")
+    __slots__ = ("nodes", "_anc", "_desc", "_succ", "_succ_shared", "_bypass")
 
     def __init__(self) -> None:
         self.nodes: list[Node] = []
         self._anc: list[int] = []  # strict-ancestor bitsets
         self._desc: list[int] = []  # strict-descendant bitsets
         self._succ: list[dict[int, EdgeKind]] = []  # explicit edges u -> {v: kinds}
+        self._succ_shared: int = 0  # bitmask: _succ dicts shared with a COW parent
         self._bypass: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
@@ -116,8 +131,9 @@ class ExecutionGraph:
         if self._before(v, u):
             raise CycleError(u, v)
 
-        existing = self._succ[u].get(v)
-        self._succ[u][v] = (existing | kind) if existing is not None else kind
+        targets = self._own_succ(u)
+        existing = targets.get(v)
+        targets[v] = (existing | kind) if existing is not None else kind
         if self._before(u, v):
             return False
 
@@ -128,6 +144,14 @@ class ExecutionGraph:
         for w in iter_bits(anc_gain):
             self._desc[w] |= desc_gain
         return True
+
+    def _own_succ(self, u: int) -> dict[int, EdgeKind]:
+        """The successor dict of ``u``, privately owned: a dict shared
+        with a copy-on-write parent is cloned before the first write."""
+        if (self._succ_shared >> u) & 1:
+            self._succ[u] = dict(self._succ[u])
+            self._succ_shared &= ~(1 << u)
+        return self._succ[u]
 
     def _check(self, nid: int) -> None:
         if not 0 <= nid < len(self.nodes):
@@ -198,7 +222,7 @@ class ExecutionGraph:
 
     def topological_order(self) -> list[int]:
         """One linear extension of ⊑ (by ancestor count, ties by nid)."""
-        return sorted(range(len(self.nodes)), key=lambda n: (bin(self._anc[n]).count("1"), n))
+        return sorted(range(len(self.nodes)), key=lambda n: (self._anc[n].bit_count(), n))
 
     def find_path(self, u: int, v: int) -> list[tuple[int, int, EdgeKind]] | None:
         """A shortest explicit-edge path witnessing ``u ⊑ v``, as a list of
@@ -243,11 +267,36 @@ class ExecutionGraph:
     # copying
 
     def copy(self) -> "ExecutionGraph":
-        dup = ExecutionGraph()
+        """A fully independent deep copy: every node is cloned and every
+        successor dict owned.  External callers may freely mutate node
+        attributes on the result."""
+        dup = ExecutionGraph.__new__(ExecutionGraph)
         dup.nodes = [node.clone() for node in self.nodes]
         dup._anc = list(self._anc)
         dup._desc = list(self._desc)
         dup._succ = [dict(targets) for targets in self._succ]
+        dup._succ_shared = 0
+        dup._bypass = set(self._bypass)
+        return dup
+
+    def copy_on_write(self) -> "ExecutionGraph":
+        """The enumeration hot-path copy: structure is shared until first
+        mutation.
+
+        Successor dicts are shared and cloned lazily on the first
+        ``add_edge`` touching them (``_own_succ``).  Node objects are
+        shared when *settled* — no engine code path mutates a node once
+        it has executed and (for memory operations) resolved its address
+        — and cloned otherwise.  Callers who mutate node attributes
+        directly must use :meth:`copy` instead; the enumeration engine
+        only mutates unsettled nodes, which are private by construction.
+        """
+        dup = ExecutionGraph.__new__(ExecutionGraph)
+        dup.nodes = [node if node.settled else node.clone() for node in self.nodes]
+        dup._anc = list(self._anc)
+        dup._desc = list(self._desc)
+        dup._succ = list(self._succ)
+        dup._succ_shared = (1 << len(self._succ)) - 1
         dup._bypass = set(self._bypass)
         return dup
 

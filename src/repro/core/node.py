@@ -94,6 +94,14 @@ class Node:
         """True when this node has made a value visible to memory."""
         return self.executed and self.writes
 
+    @property
+    def settled(self) -> bool:
+        """True when no engine code path will mutate this node again:
+        it has executed and, for memory operations, resolved its address
+        (a store may execute with its value before its address is known).
+        Settled nodes are shared between copy-on-write graph copies."""
+        return self.executed and (self.addr is not None or not self.is_memory)
+
     def clone(self) -> "Node":
         """A field-for-field copy (values are immutable, so shallow)."""
         return Node(

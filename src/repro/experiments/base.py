@@ -198,6 +198,25 @@ def run_isolated(
     )
 
 
+def parallel_map(function, items, jobs: int = 1) -> list:
+    """Map ``function`` over ``items``, preserving order, optionally
+    fanning the calls across ``jobs`` worker processes.
+
+    ``jobs <= 1`` (or a single item) runs serially in-process with no
+    pool overhead.  ``function`` must be a module-level callable and the
+    items and results picklable — the batch runner and the ``--jobs``
+    CLI paths satisfy this by shipping module names / (test, model) name
+    pairs rather than live objects.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [function(item) for item in items]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(function, items))
+
+
 def node_at(execution: Execution, thread_name: str, index: int) -> Node:
     """The dynamic node at program position ``index`` of the named thread.
 

@@ -12,6 +12,7 @@ from repro.experiments import (
     fig89,
     fig1011,
     litmus_matrix,
+    parallel_exp,
     scaling,
     staticrace_exp,
     wellsync_exp,
@@ -36,6 +37,7 @@ _SLOW_MODULES = {
     "TAB-COHERENCE": coherence_exp,
     "TAB-SCALE": scaling,
     "TAB-STATIC": staticrace_exp,
+    "TAB-PARALLEL": parallel_exp,
 }
 
 

@@ -1,0 +1,270 @@
+"""Cross-validation of the sharded parallel enumeration engine.
+
+The correctness bar (ISSUE 4): the parallel engine must produce the
+*identical* sorted execution set (Load–Store graphs) and register
+outcomes as the sequential engine on the entire litmus library under
+every model, deterministically for every worker count — plus budgets,
+cancellation, and resumable partial results must keep working.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.enumerate import (
+    CancellationToken,
+    EnumerationLimits,
+    ExhaustionReason,
+    ParallelEnumerationConfig,
+    enumerate_behaviors,
+    resume_enumeration,
+)
+from repro.isa.dsl import ProgramBuilder
+from repro.litmus.library import all_tests, get_test
+from repro.models.registry import get_model
+
+MODELS = ("sc", "tso", "pso", "weak", "weak-spec")
+
+#: Forces real sharding on even the smallest litmus tests — the default
+#: warm-up budget would finish most of them sequentially.
+TINY_WARMUP = {"warmup_behaviors": 4, "shards": 8}
+
+
+def build_heavy3():
+    """A 3-thread program whose behavior set far exceeds small budgets."""
+    builder = ProgramBuilder("heavy3")
+    w = builder.thread("W")
+    w.store("x", 1)
+    w.store("y", 1)
+    p = builder.thread("P")
+    p.load("r1", "x")
+    p.load("r2", "y")
+    p.store("z", 1)
+    q = builder.thread("Q")
+    q.load("r3", "z")
+    q.load("r4", "y")
+    q.load("r5", "x")
+    return builder.build()
+
+
+def assert_identical(sequential, parallel_result):
+    assert parallel_result.complete, parallel_result.status
+    assert [e.loadstore_key() for e in parallel_result.executions] == [
+        e.loadstore_key() for e in sequential.executions
+    ]
+    assert parallel_result.register_outcomes() == sequential.register_outcomes()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Sequential-engine results for the whole library × every model."""
+    return {
+        (test.name, model_name): enumerate_behaviors(
+            test.program, get_model(model_name)
+        )
+        for test in all_tests()
+        for model_name in MODELS
+    }
+
+
+@pytest.fixture(scope="module")
+def pools():
+    """One shared process pool per tested worker count (pool start-up is
+    the dominant cost of a small parallel enumeration, so the library
+    sweeps reuse a single pool through ``ParallelEnumerationConfig.executor``)."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=2) as two, ProcessPoolExecutor(
+        max_workers=4
+    ) as four:
+        yield {2: two, 4: four}
+
+
+class TestFullLibraryCrossValidation:
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_workers_1_inline(self, model_name, baseline):
+        config = ParallelEnumerationConfig(workers=1, **TINY_WARMUP)
+        for test in all_tests():
+            result = enumerate_behaviors(
+                test.program, get_model(model_name), parallel=config
+            )
+            assert_identical(baseline[(test.name, model_name)], result)
+
+    @pytest.mark.parametrize("workers", (2, 4))
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_workers_pooled(self, workers, model_name, baseline, pools):
+        config = ParallelEnumerationConfig(
+            workers=workers, executor=pools[workers], **TINY_WARMUP
+        )
+        for test in all_tests():
+            result = enumerate_behaviors(
+                test.program, get_model(model_name), parallel=config
+            )
+            assert_identical(baseline[(test.name, model_name)], result)
+
+    def test_digest_dedup_matches_exact_dedup(self, baseline):
+        """The blake2b-digest dedup set admits exactly the same behavior
+        set as full canonical keys (no collisions on the library)."""
+        for test in all_tests():
+            exact = enumerate_behaviors(
+                test.program, get_model("weak"), dedup_exact=True
+            )
+            assert_identical(baseline[(test.name, "weak")], exact)
+
+
+class TestParallelBudgets:
+    def test_behavior_budget_is_exact(self):
+        limits = EnumerationLimits(max_behaviors=50)
+        config = ParallelEnumerationConfig(workers=2, **TINY_WARMUP)
+        result = enumerate_behaviors(
+            build_heavy3(), get_model("weak"), limits, parallel=config
+        )
+        assert result.complete is False
+        assert result.reason is ExhaustionReason.BEHAVIOR_BUDGET
+        assert result.stats.explored <= 50
+        assert result.checkpoint is not None
+
+    def test_parallel_partial_resumes_sequentially(self):
+        program = build_heavy3()
+        sequential = enumerate_behaviors(program, get_model("weak"))
+        config = ParallelEnumerationConfig(workers=2, **TINY_WARMUP)
+        partial = enumerate_behaviors(
+            program,
+            get_model("weak"),
+            EnumerationLimits(max_behaviors=50),
+            parallel=config,
+        )
+        resumed = resume_enumeration(partial.checkpoint, EnumerationLimits())
+        assert_identical(sequential, resumed)
+
+    def test_sequential_partial_resumes_in_parallel(self):
+        program = build_heavy3()
+        sequential = enumerate_behaviors(program, get_model("weak"))
+        partial = enumerate_behaviors(
+            program, get_model("weak"), EnumerationLimits(max_behaviors=30)
+        )
+        assert partial.complete is False
+        config = ParallelEnumerationConfig(workers=2, **TINY_WARMUP)
+        resumed = resume_enumeration(
+            partial.checkpoint, EnumerationLimits(), parallel=config
+        )
+        assert_identical(sequential, resumed)
+
+    def test_strict_mode_raises(self):
+        from repro.errors import EnumerationError
+
+        config = ParallelEnumerationConfig(workers=2, **TINY_WARMUP)
+        with pytest.raises(EnumerationError):
+            enumerate_behaviors(
+                build_heavy3(),
+                get_model("weak"),
+                EnumerationLimits(max_behaviors=50),
+                strict=True,
+                parallel=config,
+            )
+
+    def test_deadline_returns_partial(self):
+        config = ParallelEnumerationConfig(workers=2, **TINY_WARMUP)
+        result = enumerate_behaviors(
+            build_heavy3(),
+            get_model("weak"),
+            EnumerationLimits(deadline_seconds=1e-6),
+            parallel=config,
+        )
+        assert result.complete is False
+        assert result.reason is ExhaustionReason.DEADLINE
+        assert result.checkpoint is not None
+
+
+class _CancelAfterPolls(CancellationToken):
+    """Fault injector: reports cancelled after a fixed number of polls,
+    simulating a supervisor that pulls the plug mid-search."""
+
+    def __init__(self, polls: int) -> None:
+        super().__init__()
+        self._polls = polls
+
+    @property
+    def cancelled(self) -> bool:
+        if self._polls > 0:
+            self._polls -= 1
+            return False
+        return True
+
+
+class TestCancellationFaults:
+    def test_pre_cancelled_token(self):
+        token = CancellationToken()
+        token.cancel()
+        config = ParallelEnumerationConfig(workers=2, **TINY_WARMUP)
+        result = enumerate_behaviors(
+            build_heavy3(), get_model("weak"), parallel=config, token=token
+        )
+        assert result.complete is False
+        assert result.reason is ExhaustionReason.CANCELLED
+        assert result.checkpoint is not None
+
+    def test_cancel_between_shards_merges_valid_partial(self):
+        """Deterministic mid-shard fault: the token fires after the
+        warm-up's polls, so the inline driver cancels with some shards
+        done and some never started — the merged partial must be a valid
+        resumable checkpoint reaching the full behavior set."""
+        program = build_heavy3()
+        sequential = enumerate_behaviors(program, get_model("weak"))
+        token = _CancelAfterPolls(polls=6)  # survives the 4-pop warm-up
+        config = ParallelEnumerationConfig(workers=1, **TINY_WARMUP)
+        result = enumerate_behaviors(
+            program, get_model("weak"), parallel=config, token=token
+        )
+        assert result.complete is False
+        assert result.reason is ExhaustionReason.CANCELLED
+        assert result.checkpoint is not None
+        assert result.checkpoint.worklist  # unfinished shards preserved
+        resumed = resume_enumeration(result.checkpoint, EnumerationLimits())
+        assert_identical(sequential, resumed)
+
+    def test_cancel_mid_pool_run_then_resume(self, pools):
+        """Asynchronous fault on a real pool: cancel ~immediately after
+        dispatch; whatever merged state comes back must resume to the
+        exact sequential behavior set (possibly over several resumes)."""
+        program = build_heavy3()
+        sequential = enumerate_behaviors(program, get_model("weak"))
+        token = CancellationToken()
+        config = ParallelEnumerationConfig(
+            workers=2, executor=pools[2], **TINY_WARMUP
+        )
+        timer = threading.Timer(0.01, token.cancel)
+        timer.start()
+        try:
+            result = enumerate_behaviors(
+                program, get_model("weak"), parallel=config, token=token
+            )
+        finally:
+            timer.cancel()
+        if result.complete:  # the pool won the race — still must be exact
+            assert_identical(sequential, result)
+            return
+        assert result.reason is ExhaustionReason.CANCELLED
+        resumed = resume_enumeration(result.checkpoint, EnumerationLimits())
+        assert_identical(sequential, resumed)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("test_name", ("IRIW", "SB", "MP+addr"))
+    def test_worker_count_does_not_change_results(self, test_name, pools):
+        """The shard count (not the worker count) fixes the merge, so
+        1, 2 and 4 workers return byte-identical execution orders."""
+        program = get_test(test_name).program
+        model = get_model("weak")
+        runs = []
+        for workers in (1, 2, 4):
+            config = ParallelEnumerationConfig(
+                workers=workers,
+                executor=pools.get(workers),
+                **TINY_WARMUP,
+            )
+            runs.append(enumerate_behaviors(program, model, parallel=config))
+        keys = [[e.loadstore_key() for e in run.executions] for run in runs]
+        assert keys[0] == keys[1] == keys[2]
+        assert runs[0].register_outcomes() == runs[1].register_outcomes()
+        assert runs[1].register_outcomes() == runs[2].register_outcomes()
