@@ -468,6 +468,89 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return report_main(argv)
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.testing.fuzz import replay_path, run_campaign, run_mutation_kill
+    from repro.testing.fuzzgen import MIXED, PROFILES
+    from repro.testing.mutants import MUTANTS
+    from repro.testing.oracles import ORACLES
+
+    if args.list_oracles:
+        for oracle in ORACLES:
+            print(f"{oracle.name:24s} {oracle.description}")
+        return 0
+    if args.list_profiles:
+        print(f"{MIXED:24s} round-robin over every profile below")
+        for profile in PROFILES.values():
+            print(f"{profile.name:24s} {profile.description}")
+        return 0
+    if args.list_mutants:
+        for mutant in MUTANTS:
+            print(f"{mutant.name:26s} {mutant.description}")
+        return 0
+
+    corpus_dir = Path(args.corpus_dir) if args.corpus_dir else None
+
+    if args.replay:
+        target = Path(args.replay)
+        paths = sorted(target.glob("*.litmus")) if target.is_dir() else [target]
+        if not paths:
+            raise ReproError(f"no corpus entries under {target}")
+        from repro.testing.corpus import load_entry
+
+        failures = 0
+        for path in paths:
+            discrepancies, _skipped = replay_path(path)
+            # A mutant entry replays *with its mutant installed*, so a
+            # discrepancy is the expected, healthy verdict for it.
+            entry = load_entry(path)
+            if entry.mutant:
+                ok = bool(discrepancies)
+                verdict = "reproduces" if ok else "LOST (mutant no longer caught)"
+            else:
+                ok = not discrepancies
+                verdict = "clean" if ok else "DISCREPANCY"
+            failures += 0 if ok else 1
+            print(f"{path.name:40s} {verdict}")
+            for discrepancy in discrepancies if not ok else ():
+                print(f"    {discrepancy}")
+        return 1 if failures else 0
+
+    if args.mutants:
+        kills = run_mutation_kill(
+            seed=args.seed,
+            budget=args.budget,
+            profile=args.profile,
+            do_shrink=not args.no_shrink,
+            corpus_dir=corpus_dir,
+        )
+        print(f"mutation-kill campaign: seed={args.seed} budget={args.budget}")
+        bad = 0
+        for kill in kills:
+            print(kill.summary())
+            ok = kill.detected
+            if kill.shrink_result is not None:
+                ok = ok and kill.reproducer_instructions <= args.max_reproducer
+            if kill.corpus_path is not None:
+                ok = ok and bool(kill.replay_fails_under_mutant)
+                ok = ok and bool(kill.healthy_tree_clean)
+            bad += 0 if ok else 1
+        print(f"{len(kills) - bad}/{len(kills)} mutants killed cleanly")
+        return 1 if bad else 0
+
+    report = run_campaign(
+        seed=args.seed,
+        budget=args.budget,
+        profile=args.profile,
+        jobs=args.jobs,
+        do_shrink=not args.no_shrink,
+        corpus_dir=corpus_dir,
+    )
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -728,6 +811,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the experiments across N worker processes",
     )
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated programs vs N-way oracles",
+    )
+    p_fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=60,
+        metavar="N",
+        help="number of programs to generate and check (per mutant, "
+        "with --mutants)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (deterministic)"
+    )
+    p_fuzz.add_argument(
+        "--profile",
+        default="mixed",
+        help="generator profile ('mixed' round-robins; see --list-profiles)",
+    )
+    p_fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan programs across N worker processes (verdicts unchanged)",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir",
+        metavar="DIR",
+        help="bank minimized counterexamples as corpus files under DIR",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report discrepancies without delta-debugging them",
+    )
+    p_fuzz.add_argument(
+        "--mutants",
+        action="store_true",
+        help="mutation-kill mode: every seeded mutant must be detected, "
+        "shrunk, and banked as a replayable reproducer",
+    )
+    p_fuzz.add_argument(
+        "--max-reproducer",
+        type=int,
+        default=8,
+        metavar="N",
+        help="with --mutants: maximum instructions allowed in a "
+        "minimized reproducer",
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="replay a corpus file (or every *.litmus under a directory) "
+        "instead of fuzzing",
+    )
+    p_fuzz.add_argument(
+        "--list-oracles", action="store_true", help="list oracles and exit"
+    )
+    p_fuzz.add_argument(
+        "--list-profiles", action="store_true", help="list generator profiles and exit"
+    )
+    p_fuzz.add_argument(
+        "--list-mutants", action="store_true", help="list seeded mutants and exit"
+    )
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     return parser
 

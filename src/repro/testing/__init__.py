@@ -1,5 +1,18 @@
-"""Testing support: deterministic fault injection for the engine."""
+"""Testing support: fault injection, differential fuzzing, mutation kill.
 
+* :mod:`repro.testing.faults` — deterministic fault injection for the
+  enumeration engine's degradation paths.
+* :mod:`repro.testing.fuzzgen` — seeded random program generator with
+  weighted profiles (register addressing, RMWs, branches, fences).
+* :mod:`repro.testing.oracles` — N-way differential oracles across the
+  repo's independent implementations.
+* :mod:`repro.testing.shrink` — delta-debugging counterexample minimizer.
+* :mod:`repro.testing.corpus` — replayable ``tests/corpus/`` file format.
+* :mod:`repro.testing.mutants` — seeded bugs for mutation-kill proofs.
+* :mod:`repro.testing.fuzz` — campaign driver behind ``repro fuzz``.
+"""
+
+from repro.testing.corpus import CorpusEntry, load_corpus, load_entry, save_entry
 from repro.testing.faults import (
     FaultInjector,
     FaultStats,
@@ -8,12 +21,45 @@ from repro.testing.faults import (
     InjectedMemoryError,
     inject_faults,
 )
+from repro.testing.fuzz import (
+    CampaignReport,
+    MutantKill,
+    ProgramVerdict,
+    run_campaign,
+    run_mutation_kill,
+)
+from repro.testing.fuzzgen import PROFILES, FuzzProfile, generate_program, iter_programs
+from repro.testing.mutants import MUTANTS, Mutant, get_mutant
+from repro.testing.oracles import ORACLES, Discrepancy, Oracle, run_oracles
+from repro.testing.shrink import ShrinkResult, shrink
 
 __all__ = [
+    "CampaignReport",
+    "CorpusEntry",
+    "Discrepancy",
     "FaultInjector",
     "FaultStats",
+    "FuzzProfile",
     "InjectedAtomicityViolation",
     "InjectedCycleError",
     "InjectedMemoryError",
+    "MUTANTS",
+    "Mutant",
+    "MutantKill",
+    "ORACLES",
+    "Oracle",
+    "PROFILES",
+    "ProgramVerdict",
+    "ShrinkResult",
+    "generate_program",
+    "get_mutant",
     "inject_faults",
+    "iter_programs",
+    "load_corpus",
+    "load_entry",
+    "run_campaign",
+    "run_mutation_kill",
+    "run_oracles",
+    "save_entry",
+    "shrink",
 ]

@@ -1,0 +1,147 @@
+"""The regression corpus: minimized reproducers as replayable files.
+
+A corpus entry is a plain ``.litmus`` assembly file with a metadata
+header of ``# fuzz-<key>: <value>`` comments::
+
+    # fuzz-seed: 18000054
+    # fuzz-profile: fences
+    # fuzz-oracle: axiomatic-vs-tso
+    # fuzz-mutant: tso-store-store-relaxed
+    # fuzz-note: minimized from 14 instructions
+    test fz-fences-11-min
+    init x=1
+    ...
+
+The assembly body round-trips through :func:`repro.isa.assembler.assemble`
+(the ``#`` lines are ordinary comments to the assembler), so every entry
+is directly loadable by the CLI and by ``tests/test_corpus.py``.
+
+* ``oracle`` names the differential oracle the entry exercises (or, for
+  mutant reproducers, the oracle that kills the mutant).
+* ``mutant`` — when set, the entry only shows a discrepancy with that
+  seeded mutant installed; on the healthy tree it must pass all oracles.
+  Entries without a mutant are "interesting programs": they must pass
+  all oracles on the healthy tree and exist to keep the oracles honest
+  about tricky features (register addressing, RMWs, branches).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.program import Program
+
+_HEADER = re.compile(r"^#\s*fuzz-([a-z]+)\s*:\s*(.*?)\s*$")
+_KNOWN_KEYS = frozenset({"seed", "profile", "oracle", "mutant", "note"})
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus file, parsed."""
+
+    program: Program
+    path: Path | None = None
+    seed: int | None = None
+    profile: str | None = None
+    oracle: str | None = None
+    mutant: str | None = None
+    note: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+
+def render_entry(entry: CorpusEntry) -> str:
+    """Serialize an entry to corpus-file text."""
+    lines = []
+    if entry.seed is not None:
+        lines.append(f"# fuzz-seed: {entry.seed}")
+    if entry.profile:
+        lines.append(f"# fuzz-profile: {entry.profile}")
+    if entry.oracle:
+        lines.append(f"# fuzz-oracle: {entry.oracle}")
+    if entry.mutant:
+        lines.append(f"# fuzz-mutant: {entry.mutant}")
+    if entry.note:
+        lines.append(f"# fuzz-note: {entry.note}")
+    lines.append(disassemble(entry.program).rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+def save_entry(entry: CorpusEntry, directory: Path) -> Path:
+    """Write ``entry`` under ``directory`` (created if missing) and
+    return the file path; the filename is derived from the program name."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9._-]", "-", entry.program.name) or "entry"
+    path = directory / f"{stem}.litmus"
+    suffix = 1
+    while path.exists():
+        existing = load_entry(path)
+        if render_entry(existing) == render_entry(entry):
+            return path  # identical entry already saved
+        suffix += 1
+        path = directory / f"{stem}-{suffix}.litmus"
+    path.write_text(render_entry(entry))
+    return path
+
+
+def load_entry(path: Path) -> CorpusEntry:
+    """Parse one corpus file (header comments + assembly)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ReproError(f"cannot read corpus entry {path}: {error}") from error
+    meta: dict[str, str] = {}
+    for line in text.splitlines():
+        match = _HEADER.match(line)
+        if match:
+            key, value = match.group(1), match.group(2)
+            if key not in _KNOWN_KEYS:
+                raise ReproError(f"{path}: unknown corpus header key {key!r}")
+            meta[key] = value
+        elif line.strip() and not line.lstrip().startswith("#"):
+            break  # assembly body begins; headers only allowed before it
+    try:
+        source = assemble(text)
+    except Exception as error:
+        raise ReproError(f"{path}: cannot assemble corpus entry: {error}") from error
+    seed = int(meta["seed"]) if "seed" in meta else None
+    return CorpusEntry(
+        program=source.program,
+        path=path,
+        seed=seed,
+        profile=meta.get("profile"),
+        oracle=meta.get("oracle"),
+        mutant=meta.get("mutant"),
+        note=meta.get("note"),
+    )
+
+
+def load_corpus(directory: Path) -> tuple[CorpusEntry, ...]:
+    """All corpus entries under ``directory``, sorted by filename."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return ()
+    return tuple(load_entry(path) for path in sorted(directory.glob("*.litmus")))
+
+
+#: The in-repo regression corpus replayed by tier-1 tests.
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+__all__ = [
+    "CorpusEntry",
+    "DEFAULT_CORPUS_DIR",
+    "load_corpus",
+    "load_entry",
+    "render_entry",
+    "save_entry",
+]

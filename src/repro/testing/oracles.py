@@ -1,0 +1,388 @@
+"""N-way differential oracles over the repository's implementations.
+
+For one program the repository has many independent answers to "what can
+happen": the axiomatic enumerator (per model), the SC interleaver, the
+TSO/PSO store-buffer machines, the ≺-linearization dataflow machine, the
+parallel enumeration engine, the dataflow-pruned enumeration, and the
+static analyses.  Each :class:`Oracle` here checks one agreement that is
+a *theorem* of the codebase; a :class:`Discrepancy` therefore always
+means a bug (in an implementation — or, during mutation testing, the
+seeded mutant doing its job).
+
+All verdicts are deterministic: enumeration budgets are counting budgets
+(never wall-clock), and a program whose state space exceeds them is
+reported as *skipped* for that oracle, not compared partially.
+
+The :class:`OracleContext` memoizes enumerations so that the eight
+oracles cost ~six enumerations per program rather than ~fifteen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.enumerate import (
+    EnumerationLimits,
+    EnumerationResult,
+    ParallelEnumerationConfig,
+    enumerate_behaviors,
+)
+from repro.errors import ReproError
+from repro.isa.program import Program
+from repro.models.registry import get_model
+from repro.operational.dataflow import run_dataflow
+from repro.operational.sc import run_sc
+from repro.operational.storebuffer import run_pso, run_tso
+
+#: Budgets used by fuzzing: counting-only (deterministic), sized so that
+#: every profile-shaped program fits comfortably.
+FUZZ_LIMITS = EnumerationLimits(max_behaviors=250_000, max_executions=50_000)
+
+
+class OracleSkip(ReproError):
+    """An oracle declined to compare (budget exceeded / not applicable)."""
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """Two implementations disagreed on one program."""
+
+    oracle: str
+    program: str
+    detail: str
+    model: str | None = None
+
+    def __str__(self) -> str:
+        model = f" [{self.model}]" if self.model else ""
+        return f"{self.oracle}{model} on {self.program}: {self.detail}"
+
+
+@dataclass
+class OracleContext:
+    """Shared per-program cache: axiomatic enumerations are memoized by
+    (model, parallel, pruned) so oracles can overlap their inputs."""
+
+    program: Program
+    limits: EnumerationLimits = FUZZ_LIMITS
+    _results: dict = field(default_factory=dict)
+    _facts: object = None
+
+    def result(
+        self, model_name: str, *, parallel: bool = False, pruned: bool = False
+    ) -> EnumerationResult:
+        key = (model_name, parallel, pruned)
+        if key not in self._results:
+            facts = None
+            if pruned:
+                facts = self.facts()
+            config = ParallelEnumerationConfig(workers=2) if parallel else None
+            self._results[key] = enumerate_behaviors(
+                self.program,
+                get_model(model_name),
+                self.limits,
+                facts=facts,
+                parallel=config,
+            )
+        return self._results[key]
+
+    def outcomes(self, model_name: str, **kwargs) -> frozenset:
+        """Complete outcome set, or :class:`OracleSkip` on a partial result."""
+        result = self.result(model_name, **kwargs)
+        if not result.complete:
+            raise OracleSkip(
+                f"{model_name} enumeration exhausted its budget ({result.status})"
+            )
+        return result.register_outcomes()
+
+    def facts(self):
+        if self._facts is None:
+            from repro.analysis.static import compute_static_facts
+
+            self._facts = compute_static_facts(self.program)
+        return self._facts
+
+
+def _diff(left: frozenset, right: frozenset, left_name: str, right_name: str) -> str:
+    """Human-readable outcome-set difference (truncated)."""
+
+    def render(outcome) -> str:
+        return "{" + " ".join(
+            f"{thread}:{register}={value}"
+            for (thread, register), value in sorted(outcome, key=repr)
+        ) + "}"
+
+    parts = []
+    only_left = sorted(map(render, left - right))
+    only_right = sorted(map(render, right - left))
+    if only_left:
+        parts.append(f"only {left_name}: {', '.join(only_left[:3])}"
+                     + (f" (+{len(only_left) - 3} more)" if len(only_left) > 3 else ""))
+    if only_right:
+        parts.append(f"only {right_name}: {', '.join(only_right[:3])}"
+                     + (f" (+{len(only_right) - 3} more)" if len(only_right) > 3 else ""))
+    return "; ".join(parts) or "outcome sets differ"
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One differential agreement check."""
+
+    name: str
+    description: str
+    check: Callable[[OracleContext], list[Discrepancy]]
+    applicable: Callable[[Program], bool] = lambda program: True
+
+
+def _mismatch(ctx, oracle, model, axiomatic, reference, ref_name) -> list[Discrepancy]:
+    if axiomatic == reference:
+        return []
+    return [
+        Discrepancy(
+            oracle=oracle,
+            program=ctx.program.name,
+            model=model,
+            detail=_diff(axiomatic, reference, "axiomatic", ref_name),
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# axiomatic vs operational, per model
+
+
+def _check_sc(ctx: OracleContext) -> list[Discrepancy]:
+    return _mismatch(ctx, "axiomatic-vs-sc", "sc", ctx.outcomes("sc"),
+                     run_sc(ctx.program).outcomes, "sc-machine")
+
+
+def _check_tso(ctx: OracleContext) -> list[Discrepancy]:
+    return _mismatch(ctx, "axiomatic-vs-tso", "tso", ctx.outcomes("tso"),
+                     run_tso(ctx.program).outcomes, "tso-machine")
+
+
+def _check_pso(ctx: OracleContext) -> list[Discrepancy]:
+    return _mismatch(ctx, "axiomatic-vs-pso", "pso", ctx.outcomes("pso"),
+                     run_pso(ctx.program).outcomes, "pso-machine")
+
+
+def _check_dataflow(ctx: OracleContext) -> list[Discrepancy]:
+    return _mismatch(ctx, "axiomatic-vs-dataflow", "weak", ctx.outcomes("weak"),
+                     run_dataflow(ctx.program, "weak").outcomes, "dataflow-machine")
+
+
+# ---------------------------------------------------------------------------
+# engine-vs-engine
+
+
+def _check_parallel(ctx: OracleContext) -> list[Discrepancy]:
+    """PR 4's theorem: the sharded parallel engine is byte-identical to
+    the sequential engine for any worker count."""
+    sequential = ctx.result("weak")
+    parallel = ctx.result("weak", parallel=True)
+    if not sequential.complete or not parallel.complete:
+        raise OracleSkip("enumeration exhausted its budget")
+    problems = []
+    if sequential.register_outcomes() != parallel.register_outcomes():
+        problems.append(_diff(parallel.register_outcomes(),
+                              sequential.register_outcomes(),
+                              "parallel", "sequential"))
+    elif len(sequential.executions) != len(parallel.executions):
+        problems.append(
+            f"execution sets differ: {len(parallel.executions)} parallel "
+            f"vs {len(sequential.executions)} sequential"
+        )
+    return [
+        Discrepancy("sequential-vs-parallel", ctx.program.name, detail, "weak")
+        for detail in problems
+    ]
+
+
+def _check_pruned(ctx: OracleContext) -> list[Discrepancy]:
+    """PR 3's theorem: dataflow-pruned enumeration is a pure accelerator
+    — the behavior set is identical with and without facts."""
+    plain = ctx.result("weak")
+    pruned = ctx.result("weak", pruned=True)
+    if not plain.complete or not pruned.complete:
+        raise OracleSkip("enumeration exhausted its budget")
+    problems = []
+    if plain.register_outcomes() != pruned.register_outcomes():
+        problems.append(_diff(pruned.register_outcomes(), plain.register_outcomes(),
+                              "pruned", "unpruned"))
+    elif len(plain.executions) != len(pruned.executions):
+        problems.append(
+            f"execution sets differ: {len(pruned.executions)} pruned "
+            f"vs {len(plain.executions)} unpruned"
+        )
+    return [
+        Discrepancy("pruned-vs-unpruned", ctx.program.name, detail, "weak")
+        for detail in problems
+    ]
+
+
+def _check_inclusion(ctx: OracleContext) -> list[Discrepancy]:
+    """The model lattice on outcome sets: sc ⊆ tso ⊆ pso ⊆ weak."""
+    chain = ("sc", "tso", "pso", "weak")
+    outcomes = {name: ctx.outcomes(name) for name in chain}
+    problems = []
+    for weaker, stronger in zip(chain, chain[1:]):
+        if not outcomes[weaker] <= outcomes[stronger]:
+            lost = len(outcomes[weaker] - outcomes[stronger])
+            problems.append(
+                Discrepancy(
+                    "inclusion-chain",
+                    ctx.program.name,
+                    f"{weaker} ⊄ {stronger}: {lost} outcome(s) lost",
+                    f"{weaker}<={stronger}",
+                )
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# static analysis vs enumeration ground truth
+
+
+def _check_static(ctx: OracleContext) -> list[Discrepancy]:
+    """Soundness and monotonicity of the static delay-set analysis.
+
+    * *Soundness*: if the precise analysis reports no delay edges under a
+      model, the program is robust — enumerated outcomes equal SC's.
+    * *Monotonicity*: the precise (dataflow-backed) analysis never
+      reports a delay edge the syntactic analysis missed.
+    """
+    from repro.analysis.static import analyze_program
+
+    problems = []
+    sc_outcomes = ctx.outcomes("sc")
+    for model_name in ("tso", "weak"):
+        precise = analyze_program(ctx.program, model_name, precise=True,
+                                  facts=ctx.facts())
+        syntactic = analyze_program(ctx.program, model_name, precise=False)
+        precise_edges = {(d.thread, d.first_index, d.second_index)
+                         for d in precise.delays}
+        syntactic_edges = {(d.thread, d.first_index, d.second_index)
+                           for d in syntactic.delays}
+        if not precise_edges <= syntactic_edges:
+            extra = sorted(precise_edges - syntactic_edges)
+            problems.append(
+                Discrepancy(
+                    "static-vs-enumeration",
+                    ctx.program.name,
+                    f"precise analysis invented delay edges {extra[:4]}",
+                    model_name,
+                )
+            )
+        if not precise.delays:
+            model_outcomes = ctx.outcomes(model_name)
+            if model_outcomes != sc_outcomes:
+                problems.append(
+                    Discrepancy(
+                        "static-vs-enumeration",
+                        ctx.program.name,
+                        "no delay edges reported but the program is not "
+                        "SC-robust: " + _diff(model_outcomes, sc_outcomes,
+                                              model_name, "sc"),
+                        model_name,
+                    )
+                )
+    return problems
+
+
+def _check_speculation(ctx: OracleContext) -> list[Discrepancy]:
+    """PR 3's speculation-safety theorem: ``all_safe`` implies the
+    alias-speculating model's outcome set equals the base model's."""
+    from repro.analysis.static import speculation_safety
+
+    report = speculation_safety(ctx.program, "weak", ctx.facts())
+    if not report.all_safe:
+        return []  # unsafe loads are allowed; nothing to cross-check
+    weak = ctx.outcomes("weak")
+    spec = ctx.outcomes("weak-spec")
+    if weak == spec:
+        return []
+    return [
+        Discrepancy(
+            "speculation-safety",
+            ctx.program.name,
+            "all loads proved speculation-safe but outcome sets differ: "
+            + _diff(spec, weak, "weak-spec", "weak"),
+            "weak-spec",
+        )
+    ]
+
+
+ORACLES: tuple[Oracle, ...] = (
+    Oracle("axiomatic-vs-sc",
+           "axiomatic SC enumeration == interleaving machine", _check_sc),
+    Oracle("axiomatic-vs-tso",
+           "axiomatic TSO enumeration == store-buffer machine", _check_tso),
+    Oracle("axiomatic-vs-pso",
+           "axiomatic PSO enumeration == non-FIFO store-buffer machine",
+           _check_pso),
+    Oracle("axiomatic-vs-dataflow",
+           "axiomatic WEAK enumeration == ≺-linearization machine "
+           "(branch-free programs)", _check_dataflow,
+           applicable=lambda program: not program.has_branches()),
+    Oracle("sequential-vs-parallel",
+           "sequential engine == sharded parallel engine (workers=2)",
+           _check_parallel),
+    Oracle("pruned-vs-unpruned",
+           "dataflow-pruned enumeration == plain enumeration", _check_pruned),
+    Oracle("inclusion-chain",
+           "outcome-set lattice sc ⊆ tso ⊆ pso ⊆ weak", _check_inclusion),
+    Oracle("static-vs-enumeration",
+           "static delay analysis sound & monotone vs enumeration",
+           _check_static),
+    Oracle("speculation-safety",
+           "statically-safe speculation admits no new outcomes",
+           _check_speculation),
+)
+
+_BY_NAME = {oracle.name: oracle for oracle in ORACLES}
+
+
+def get_oracle(name: str) -> Oracle:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise ReproError(f"unknown oracle {name!r}; known oracles: {known}") from None
+
+
+def run_oracles(
+    program: Program,
+    names: tuple[str, ...] | None = None,
+    limits: EnumerationLimits = FUZZ_LIMITS,
+) -> tuple[list[Discrepancy], list[str]]:
+    """Run every applicable oracle on ``program``.
+
+    Returns ``(discrepancies, skipped)`` where ``skipped`` names oracles
+    that declined to compare (inapplicable or over budget) — skips are
+    deterministic for a given program and budget.
+    """
+    selected = ORACLES if names is None else tuple(get_oracle(n) for n in names)
+    ctx = OracleContext(program, limits)
+    discrepancies: list[Discrepancy] = []
+    skipped: list[str] = []
+    for oracle in selected:
+        if not oracle.applicable(program):
+            skipped.append(oracle.name)
+            continue
+        try:
+            discrepancies.extend(oracle.check(ctx))
+        except OracleSkip:
+            skipped.append(oracle.name)
+    return discrepancies, skipped
+
+
+__all__ = [
+    "FUZZ_LIMITS",
+    "Discrepancy",
+    "Oracle",
+    "OracleContext",
+    "OracleSkip",
+    "ORACLES",
+    "get_oracle",
+    "run_oracles",
+]

@@ -1,0 +1,228 @@
+"""Delta-debugging minimizer for fuzzer counterexamples.
+
+Given a program and a *predicate* (``predicate(candidate) -> True`` when
+the candidate still exhibits the failure — typically "this oracle still
+reports a discrepancy"), :func:`shrink` greedily applies
+failure-preserving reductions to a fixpoint:
+
+1. drop whole threads;
+2. delete instruction spans per thread (ddmin-style, halving chunk
+   sizes down to single instructions, with branch labels re-pointed);
+3. simplify single instructions in place (clear acquire/release flags,
+   demote an RMW to a plain load, replace register-computed addresses
+   with static locations, collapse stored values and ALU expressions to
+   small constants);
+4. drop initial-memory entries.
+
+Any candidate that makes the predicate *raise* counts as not failing —
+a reduction that produces an ill-typed program (e.g. an address register
+now holding an integer) is simply rejected, so the predicate never needs
+its own error handling.
+
+The result is deterministic: reductions are attempted in a fixed order
+and the first improvement is taken greedily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from repro.isa.instructions import Compute, Instruction, Load, Rmw, Store
+from repro.isa.operands import Const, Reg
+from repro.isa.program import Program, Thread
+
+Predicate = Callable[[Program], bool]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of a shrink run."""
+
+    program: Program
+    original_instructions: int
+    candidates_tried: int
+    reductions_applied: int
+
+    @property
+    def instructions(self) -> int:
+        return self.program.instruction_count()
+
+
+def shrink(program: Program, predicate: Predicate, max_rounds: int = 12) -> ShrinkResult:
+    """Minimize ``program`` while ``predicate`` keeps returning True.
+
+    ``predicate(program)`` itself must be True; otherwise the original
+    is returned untouched (there is nothing to preserve).
+    """
+    tried = 0
+    applied = 0
+    original = program.instruction_count()
+
+    def holds(candidate: Program) -> bool:
+        nonlocal tried
+        tried += 1
+        try:
+            return bool(predicate(candidate))
+        except Exception:
+            return False
+
+    if not holds(program):
+        return ShrinkResult(program, original, tried, applied)
+
+    for _ in range(max_rounds):
+        progress = False
+        for candidate in _candidates(program):
+            if holds(candidate):
+                program = candidate
+                applied += 1
+                progress = True
+                break
+        while progress:
+            # Greedy inner loop: keep taking the first improving
+            # candidate of the *new* program until none improves.
+            progress = False
+            for candidate in _candidates(program):
+                if holds(candidate):
+                    program = candidate
+                    applied += 1
+                    progress = True
+                    break
+        # One extra outer round re-scans from scratch in case a late
+        # simplification unlocked an early deletion; stop when a full
+        # scan yields nothing.
+        if not any(holds(candidate) for candidate in _candidates(program)):
+            break
+
+    return ShrinkResult(program, original, tried, applied)
+
+
+# ---------------------------------------------------------------------------
+# candidate generation
+
+
+def _candidates(program: Program) -> Iterator[Program]:
+    yield from _drop_threads(program)
+    yield from _delete_spans(program)
+    yield from _simplify_instructions(program)
+    yield from _drop_initial_memory(program)
+
+
+def _rebuild(program: Program, threads: tuple[Thread, ...]) -> Program | None:
+    if not threads or all(not thread.code for thread in threads):
+        return None
+    try:
+        return Program(threads, dict(program.initial_memory), program.name)
+    except Exception:
+        return None
+
+
+def _drop_threads(program: Program) -> Iterator[Program]:
+    if len(program.threads) <= 1:
+        return
+    for index in range(len(program.threads)):
+        threads = program.threads[:index] + program.threads[index + 1 :]
+        candidate = _rebuild(program, threads)
+        if candidate is not None:
+            yield candidate
+
+
+def _delete_span(thread: Thread, start: int, stop: int) -> Thread | None:
+    code = thread.code[:start] + thread.code[stop:]
+    removed = stop - start
+    labels = {}
+    for label, index in thread.labels.items():
+        if index <= start:
+            labels[label] = index
+        elif index >= stop:
+            labels[label] = index - removed
+        else:
+            labels[label] = start
+    try:
+        return Thread(thread.name, code, labels)
+    except Exception:
+        return None
+
+
+def _delete_spans(program: Program) -> Iterator[Program]:
+    for tindex, thread in enumerate(program.threads):
+        size = len(thread.code)
+        chunk = size
+        while chunk >= 1:
+            for start in range(0, size, chunk):
+                stop = min(start + chunk, size)
+                if chunk == size and len(program.threads) > 1:
+                    # Whole-thread deletion is handled by _drop_threads;
+                    # an empty thread is never useful.
+                    break
+                reduced = _delete_span(thread, start, stop)
+                if reduced is None or not reduced.code:
+                    continue
+                threads = (
+                    program.threads[:tindex] + (reduced,) + program.threads[tindex + 1 :]
+                )
+                candidate = _rebuild(program, threads)
+                if candidate is not None:
+                    yield candidate
+            chunk //= 2
+
+
+def _simpler_versions(instruction: Instruction, locations: tuple[str, ...]) -> Iterator[Instruction]:
+    """Strictly-simpler replacements for one instruction, best first."""
+    if isinstance(instruction, Rmw):
+        yield Load(dst=instruction.dst, addr=instruction.addr)
+        if instruction.acquire or instruction.release:
+            yield replace(instruction, acquire=False, release=False)
+    if isinstance(instruction, Load):
+        if instruction.acquire:
+            yield replace(instruction, acquire=False)
+        if isinstance(instruction.addr, Reg):
+            for location in locations[:2]:
+                yield replace(instruction, addr=Const(location))
+    if isinstance(instruction, Store):
+        if instruction.release:
+            yield replace(instruction, release=False)
+        if isinstance(instruction.addr, Reg):
+            for location in locations[:2]:
+                yield replace(instruction, addr=Const(location))
+        if instruction.value != Const(0):
+            yield replace(instruction, value=Const(1))
+            yield replace(instruction, value=Const(0))
+    if isinstance(instruction, Compute):
+        simplest = Compute(dst=instruction.dst, op="mov", args=(Const(0),))
+        if instruction != simplest:
+            yield simplest
+
+
+def _simplify_instructions(program: Program) -> Iterator[Program]:
+    locations = program.locations()
+    for tindex, thread in enumerate(program.threads):
+        for position, instruction in enumerate(thread.code):
+            for simpler in _simpler_versions(instruction, locations):
+                if simpler == instruction:
+                    continue
+                code = (
+                    thread.code[:position] + (simpler,) + thread.code[position + 1 :]
+                )
+                try:
+                    reduced = Thread(thread.name, code, dict(thread.labels))
+                except Exception:
+                    continue
+                threads = (
+                    program.threads[:tindex] + (reduced,) + program.threads[tindex + 1 :]
+                )
+                candidate = _rebuild(program, threads)
+                if candidate is not None:
+                    yield candidate
+
+
+def _drop_initial_memory(program: Program) -> Iterator[Program]:
+    for key in sorted(program.initial_memory):
+        memory = {k: v for k, v in program.initial_memory.items() if k != key}
+        try:
+            yield Program(program.threads, memory, program.name)
+        except Exception:
+            continue
+
+
+__all__ = ["Predicate", "ShrinkResult", "shrink"]

@@ -2,10 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.isa.dsl import ProgramBuilder
 from repro.models.registry import get_model
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    settings = None
+
+if settings is not None:
+    # "dev" keeps hypothesis's default randomized exploration for local
+    # runs; "ci" derandomizes so a property-test failure in the CI log
+    # reproduces exactly with the printed blob.  Select with
+    # HYPOTHESIS_PROFILE=ci (the CI workflow exports it).
+    settings.register_profile("dev", settings.default)
+    settings.register_profile("ci", derandomize=True, print_blob=True)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def build_sb():

@@ -1,0 +1,106 @@
+"""Replay the regression corpus against the differential oracles.
+
+Every ``tests/corpus/*.litmus`` entry is a parametrized tier-1 test:
+
+* *Interesting programs* (no recorded mutant) must pass **all**
+  applicable oracles on the healthy tree — they exist to keep the
+  oracles exercised on register addressing, RMWs, branches, and fences.
+* *Mutant reproducers* must be clean on the healthy tree **and** still
+  fail their recorded oracle once their mutant is installed — if a
+  refactor silently breaks a mutant's patch point, the reproducer test
+  says so before the nightly fuzz run does.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing.corpus import load_corpus, load_entry, render_entry
+from repro.testing.fuzz import replay_path
+from repro.testing.mutants import get_mutant
+from repro.testing.oracles import run_oracles
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = load_corpus(CORPUS_DIR)
+HEALTHY = [entry for entry in ENTRIES if not entry.mutant]
+REPRODUCERS = [entry for entry in ENTRIES if entry.mutant]
+
+
+def test_corpus_is_seeded():
+    assert len(ENTRIES) >= 10, "the corpus must hold at least 10 entries"
+    assert HEALTHY, "expected interesting healthy programs"
+    assert REPRODUCERS, "expected mutant reproducers"
+
+
+def test_corpus_features_are_covered():
+    """The interesting entries collectively exercise the generator's
+    hard features (the ISSUE's register-address / RMW / branchy ask)."""
+    from repro.isa.instructions import Branch, Load, Rmw, Store
+    from repro.isa.operands import Reg
+
+    seen = set()
+    for entry in HEALTHY:
+        for thread in entry.program.threads:
+            for instruction in thread.code:
+                if isinstance(instruction, Rmw):
+                    seen.add("rmw")
+                if isinstance(instruction, Branch):
+                    seen.add("branch")
+                if isinstance(instruction, (Load, Store)) and isinstance(
+                    instruction.addr_operand(), Reg
+                ):
+                    seen.add("register-address")
+    assert seen >= {"rmw", "branch", "register-address"}
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry.path.stem for entry in ENTRIES]
+)
+def test_entry_round_trips(entry):
+    """render → load is the identity on every banked file."""
+    reloaded = load_entry(entry.path)
+    assert reloaded.program == entry.program
+    assert render_entry(reloaded) == render_entry(entry)
+
+
+@pytest.mark.parametrize(
+    "entry", HEALTHY, ids=[entry.path.stem for entry in HEALTHY]
+)
+def test_healthy_entry_passes_all_oracles(entry):
+    discrepancies, _skipped = run_oracles(entry.program)
+    assert not discrepancies, "\n".join(map(str, discrepancies))
+
+
+@pytest.mark.parametrize(
+    "entry", REPRODUCERS, ids=[entry.path.stem for entry in REPRODUCERS]
+)
+def test_reproducer_still_kills_its_mutant(entry):
+    assert entry.oracle, f"{entry.path}: reproducer must record its oracle"
+    with get_mutant(entry.mutant).applied():
+        discrepancies, _ = run_oracles(entry.program, names=(entry.oracle,))
+    assert discrepancies, (
+        f"{entry.path.name} no longer reproduces mutant {entry.mutant!r}"
+    )
+
+
+@pytest.mark.parametrize(
+    "entry", REPRODUCERS, ids=[entry.path.stem for entry in REPRODUCERS]
+)
+def test_reproducer_is_clean_on_healthy_tree(entry):
+    discrepancies, _ = run_oracles(entry.program, names=(entry.oracle,))
+    assert not discrepancies, "\n".join(map(str, discrepancies))
+
+
+@pytest.mark.parametrize(
+    "entry", REPRODUCERS, ids=[entry.path.stem for entry in REPRODUCERS]
+)
+def test_reproducer_is_small(entry):
+    assert entry.program.instruction_count() <= 8
+
+
+def test_replay_path_honors_recorded_mutant():
+    """The CLI replay helper installs the entry's mutant automatically."""
+    entry = REPRODUCERS[0]
+    with_mutant, _ = replay_path(entry.path)
+    healthy, _ = replay_path(entry.path, mutated=False)
+    assert with_mutant and not healthy

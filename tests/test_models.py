@@ -139,9 +139,16 @@ class TestRegistry:
             register_model(WEAK)
 
     def test_register_custom_model(self):
+        from repro.models import registry
+
         custom = MemoryModel("test-custom", ReorderingTable({}))
         register_model(custom)
-        assert get_model("test-custom") is custom
+        try:
+            assert get_model("test-custom") is custom
+        finally:
+            # Leaving the model registered would couple later tests (and
+            # model-count assertions) to this one's execution order.
+            registry._MODELS.pop("test-custom", None)
 
 
 class TestSpeculativeVariant:
