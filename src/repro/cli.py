@@ -551,6 +551,82 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        wal_dir=args.wal_dir,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        rate_capacity=args.rate_capacity,
+        rate_refill=args.rate_refill,
+        retries=args.retries,
+        slice_behaviors=args.slice,
+        slice_delay=args.slice_delay,
+        fsync=not args.no_fsync,
+    )
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    test_path = Path(args.test)
+    if test_path.exists():
+        source = test_path.read_text(encoding="utf-8")
+    else:
+        test = _load_test(args.test)
+        from repro.isa.disassembler import disassemble
+
+        source = disassemble(test.program, condition_text=str(test.condition))
+
+    limits = {}
+    if args.max_behaviors is not None:
+        limits["max_behaviors"] = args.max_behaviors
+    if args.max_nodes is not None:
+        limits["max_nodes_per_thread"] = args.max_nodes
+    client = ServiceClient(args.url)
+    job = client.submit(
+        source,
+        model=args.model[0],
+        limits=limits,
+        deadline_seconds=args.deadline,
+        account=args.account,
+    )
+    if args.wait:
+        job = client.wait(job["id"], timeout=args.timeout)
+    print(json.dumps(job, indent=2, sort_keys=True))
+    return 0 if job["state"] not in ("failed", "quarantined") else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job == "all":
+        for job in client.list_jobs():
+            print(
+                f"{job['id']}  {job['state']:<12} {job.get('program', ''):<16} "
+                f"{job['model']:<8} explored={job.get('explored', 0)}"
+            )
+        return 0
+    job = client.status(args.job)
+    print(json.dumps(job, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -879,6 +955,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-mutants", action="store_true", help="list seeded mutants and exit"
     )
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe analysis job server (WAL-backed, "
+        "rate-limited; see docs/service.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port (printed)"
+    )
+    p_serve.add_argument(
+        "--wal-dir",
+        default="service-data",
+        help="directory for the write-ahead log and job checkpoints",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="enumeration worker processes (0 = run slices inline)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="bounded submission queue; full queue answers 429",
+    )
+    p_serve.add_argument(
+        "--rate-capacity", type=float, default=10,
+        help="token-bucket burst per account",
+    )
+    p_serve.add_argument(
+        "--rate-refill", type=float, default=1.0,
+        help="token-bucket refill per second per account",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=1,
+        help="worker-crash retries before a job is quarantined",
+    )
+    p_serve.add_argument(
+        "--slice", type=int, default=500, metavar="N",
+        help="behaviors per checkpointed enumeration slice",
+    )
+    p_serve.add_argument(
+        "--slice-delay", type=float, default=0.0, metavar="SECONDS",
+        help="pause between slices (crash-recovery testing knob)",
+    )
+    p_serve.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync on WAL appends (faster, weaker durability)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit an enumeration job to a running server"
+    )
+    p_submit.add_argument("test", help="test name or .litmus file")
+    p_submit.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="server base URL"
+    )
+    add_common(p_submit)
+    p_submit.add_argument(
+        "--max-behaviors", type=int, default=None, help="behavior-exploration budget"
+    )
+    p_submit.add_argument("--account", default="anonymous", help="X-Account header")
+    p_submit.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=300.0, help="with --wait: polling timeout"
+    )
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="query a job (or 'all') on a running server"
+    )
+    p_status.add_argument("job", help="job id, or 'all' for a summary listing")
+    p_status.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="server base URL"
+    )
+    p_status.set_defaults(func=cmd_status)
 
     return parser
 

@@ -130,6 +130,15 @@ class EnumerationStats:
         return self.explored == self.completed + self.stuck + self.branched
 
 
+#: Version stamped into every saved checkpoint.  Bump it whenever the
+#: pickled layout changes incompatibly; :meth:`EnumerationCheckpoint.load`
+#: rejects anything it does not positively recognize.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Versions this build can still resume from.
+SUPPORTED_CHECKPOINT_VERSIONS = frozenset({CHECKPOINT_FORMAT_VERSION})
+
+
 @dataclass
 class EnumerationCheckpoint:
     """A resumable snapshot of an interrupted search.
@@ -138,6 +147,11 @@ class EnumerationCheckpoint:
     executions gathered so far; :func:`resume_enumeration` continues the
     search exactly where it stopped, so a resumed run reaches the same
     behavior set as an unbudgeted run would have.
+
+    ``format_version`` stamps the on-disk layout: :meth:`load` refuses a
+    checkpoint whose version is missing (pre-versioning file) or unknown
+    (written by a newer build) with a clear :class:`EnumerationError`
+    instead of resuming from undefined unpickle behavior.
     """
 
     program: Program
@@ -149,6 +163,7 @@ class EnumerationCheckpoint:
     finished: dict
     stats: EnumerationStats
     dedup_exact: bool = False
+    format_version: int = CHECKPOINT_FORMAT_VERSION
 
     def save(self, path: str | Path) -> None:
         """Serialize the checkpoint to ``path`` (pickle format).
@@ -198,6 +213,18 @@ class EnumerationCheckpoint:
             raise EnumerationError(
                 f"{str(path)!r} does not contain an enumeration checkpoint "
                 f"(found {type(checkpoint).__name__})"
+            )
+        # The version must be present in the *instance* state: pickle
+        # restores __dict__ directly, so an unversioned (pre-PR-6) file
+        # would otherwise silently inherit the class default.
+        version = vars(checkpoint).get("format_version")
+        if version not in SUPPORTED_CHECKPOINT_VERSIONS:
+            supported = ", ".join(str(v) for v in sorted(SUPPORTED_CHECKPOINT_VERSIONS))
+            described = "no format version" if version is None else f"version {version!r}"
+            raise EnumerationError(
+                f"checkpoint {str(path)!r} has {described}; this build "
+                f"supports version(s) {supported} — re-run the original "
+                f"enumeration instead of resuming"
             )
         return checkpoint
 

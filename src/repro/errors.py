@@ -85,6 +85,32 @@ class StuckBehaviorWarning(RuntimeWarning):
     at an engine bug; it is surfaced rather than silently dropped."""
 
 
+class ServiceError(ReproError):
+    """The analysis service rejected a request or hit an internal fault.
+
+    ``status`` optionally carries the HTTP status code the server
+    answered (or would answer) with, and ``retry_after`` the suggested
+    back-off in seconds for throttled requests.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        self.status = status
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class WALError(ServiceError):
+    """The write-ahead log is unreadable or inconsistent (a corrupt
+    record in the middle of the log, an out-of-order sequence number).
+    A torn *tail* record — what a crash mid-append leaves behind — is
+    not an error; replay drops it."""
+
+
 class ConditionError(ReproError):
     """A litmus-test condition expression is malformed or references an
     unknown thread or register."""

@@ -198,7 +198,33 @@ def run_isolated(
     )
 
 
-def parallel_map(function, items, jobs: int = 1) -> list:
+@dataclass(frozen=True)
+class QuarantinedItem:
+    """Placeholder result for an item whose worker process died.
+
+    With ``quarantine=True``, :func:`parallel_map` puts one of these in
+    the poisoned item's slot instead of failing the whole run; ``error``
+    says what happened and ``item`` identifies the work unit.
+    """
+
+    index: int
+    item: object
+    error: str
+
+    def __str__(self) -> str:
+        return f"[QUARANTINED item {self.index}: {self.error}]"
+
+
+def _retry_in_fresh_pool(function, item):
+    """Re-run one item in its own single-worker pool, so a poisoned item
+    can only break its private pool — never the batch or this process."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        return pool.submit(function, item).result()
+
+
+def parallel_map(function, items, jobs: int = 1, *, quarantine: bool = False) -> list:
     """Map ``function`` over ``items``, preserving order, optionally
     fanning the calls across ``jobs`` worker processes.
 
@@ -207,14 +233,51 @@ def parallel_map(function, items, jobs: int = 1) -> list:
     items and results picklable — the batch runner and the ``--jobs``
     CLI paths satisfy this by shipping module names / (test, model) name
     pairs rather than live objects.
+
+    A worker process dying (segfault, OOM kill, ``os._exit``) poisons a
+    shared pool: every in-flight future raises ``BrokenProcessPool`` and
+    naively the whole batch is lost.  Instead, the affected items are
+    retried serially, each in its own fresh single-worker pool, so only
+    the genuinely poisoned item fails again.  That item is then
+    **quarantined**: with ``quarantine=True`` its slot holds a
+    :class:`QuarantinedItem` describing the crash and every other result
+    survives; by default a :class:`ReproError` naming the item is raised
+    (still far better than ``BrokenProcessPool`` with no culprit).
+    Ordinary exceptions propagate unchanged in both modes.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [function(item) for item in items]
     from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
 
+    results: list = [None] * len(items)
+    needs_retry: list[int] = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(function, items))
+        futures = [pool.submit(function, item) for item in items]
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                needs_retry.append(index)
+
+    # Retry pass: the crash poisoned the shared pool, so every item that
+    # was in flight is suspect; re-run them one at a time in isolation.
+    for index in needs_retry:
+        try:
+            results[index] = _retry_in_fresh_pool(function, items[index])
+        except BrokenProcessPool:
+            error = (
+                f"worker process crashed on item {index} "
+                f"({items[index]!r}) even in an isolated retry"
+            )
+            if not quarantine:
+                raise ReproError(
+                    f"parallel_map: {error}; re-run with quarantine=True "
+                    f"to keep the surviving results"
+                ) from None
+            results[index] = QuarantinedItem(index, items[index], error)
+    return results
 
 
 def node_at(execution: Execution, thread_name: str, index: int) -> Node:

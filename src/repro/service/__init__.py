@@ -1,0 +1,45 @@
+"""Analysis-as-a-service: a crash-safe async job server for the engine.
+
+The service wraps :func:`repro.core.enumerate.enumerate_behaviors` in a
+long-running asyncio HTTP server so heavy enumeration campaigns survive
+process crashes and share one worker pool:
+
+* :mod:`repro.service.server` — the HTTP front end (``POST /jobs``,
+  ``GET /jobs/<id>``) with per-account token-bucket rate limiting and a
+  bounded queue for backpressure (429 + ``Retry-After``);
+* :mod:`repro.service.wal` — the write-ahead log every job-state
+  transition is appended to *before* it is acknowledged, so a
+  ``kill -9`` + restart loses no accepted job;
+* :mod:`repro.service.jobs` — job records, content-addressed job keys
+  (idempotent submission) and the WAL-backed store + recovery;
+* :mod:`repro.service.pool` — the worker pool running enumerations in
+  checkpointed slices through the existing
+  ``EnumerationLimits``/``EnumerationCheckpoint`` machinery, with
+  worker-crash detection and bounded retry-then-quarantine;
+* :mod:`repro.service.ratelimit` — deterministic token buckets;
+* :mod:`repro.service.client` — the thin blocking client the CLI's
+  ``repro submit``/``repro status`` commands use.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job, JobState, JobStore, canonical_result, job_key
+from repro.service.pool import WorkerPool
+from repro.service.ratelimit import RateLimiter, TokenBucket
+from repro.service.server import JobServer, ServiceConfig
+from repro.service.wal import WALRecord, WriteAheadLog
+
+__all__ = [
+    "Job",
+    "JobServer",
+    "JobState",
+    "JobStore",
+    "RateLimiter",
+    "ServiceClient",
+    "ServiceConfig",
+    "TokenBucket",
+    "WALRecord",
+    "WorkerPool",
+    "WriteAheadLog",
+    "canonical_result",
+    "job_key",
+]

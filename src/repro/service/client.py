@@ -1,0 +1,109 @@
+"""Blocking HTTP client for the analysis service.
+
+The CLI's ``repro submit``/``repro status`` commands are thin wrappers
+around this; tests drive the server through it too.  Errors surface as
+:class:`~repro.errors.ServiceError` carrying the HTTP status and, for
+throttled requests, the server's ``Retry-After`` value — callers can
+back off exactly as instructed.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlsplit
+
+from repro.errors import ServiceError
+
+
+class ServiceClient:
+    """One server endpoint, e.g. ``ServiceClient("http://127.0.0.1:8642")``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("http", ""):
+            raise ServiceError(f"unsupported scheme {split.scheme!r} (http only)")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        headers: dict | None = None,
+    ) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            connection.request(method, path, body=payload, headers=headers or {})
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                document = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                document = {"error": raw.decode("latin-1", "replace")}
+            if response.status >= 400:
+                retry_after = response.getheader("Retry-After")
+                raise ServiceError(
+                    document.get("error", f"HTTP {response.status}"),
+                    status=response.status,
+                    retry_after=float(retry_after) if retry_after else None,
+                )
+            return document
+        except (ConnectionError, OSError, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    # -- API ------------------------------------------------------------
+
+    def submit(
+        self,
+        program: str,
+        model: str = "weak",
+        limits: dict | None = None,
+        deadline_seconds: float | None = None,
+        account: str = "anonymous",
+    ) -> dict:
+        body: dict = {"program": program, "model": model}
+        if limits:
+            body["limits"] = limits
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = deadline_seconds
+        return self._request("POST", "/jobs", body, {"X-Account": account})
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def list_jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs").get("jobs", [])
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll_interval: float = 0.1
+    ) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("completed", "failed", "quarantined", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']!r} after {timeout}s"
+                )
+            time.sleep(poll_interval)

@@ -1,0 +1,95 @@
+"""Deterministic per-account token-bucket rate limiting.
+
+A bucket holds up to ``capacity`` tokens and refills at ``refill_rate``
+tokens/second; each accepted submission spends one token.  Time comes
+from an injectable ``clock`` (default ``time.monotonic``), so tests —
+and the clock-jump fault injector — drive the limiter deterministically:
+for a given clock sequence the allow/deny decisions and ``Retry-After``
+values are exact, not probabilistic.
+
+The account table is bounded: beyond ``max_accounts`` live buckets the
+least-recently-used one is evicted (its account restarts with a full
+bucket — strictly more permissive, never a lockout), so an adversary
+inventing account names cannot grow server memory without bound.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict
+from typing import Callable
+
+
+class TokenBucket:
+    """One account's bucket.  Not thread-safe on its own; the server
+    calls it from the event loop only."""
+
+    def __init__(
+        self, capacity: float, refill_rate: float, now: float
+    ) -> None:
+        if capacity <= 0 or refill_rate <= 0:
+            raise ValueError("capacity and refill_rate must be positive")
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self.tokens = float(capacity)
+        self.updated = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.refill_rate)
+        self.updated = now
+
+    def acquire(self, now: float) -> tuple[bool, float]:
+        """Try to spend one token.  Returns ``(allowed, retry_after)``;
+        ``retry_after`` is 0 when allowed, else the exact seconds until
+        a token will be available at the current refill rate."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.refill_rate
+
+    @property
+    def full(self) -> bool:
+        return self.tokens >= self.capacity
+
+
+class RateLimiter:
+    """Per-account buckets with LRU-bounded memory."""
+
+    def __init__(
+        self,
+        capacity: float = 10,
+        refill_rate: float = 1.0,
+        clock: Callable[[], float] | None = None,
+        max_accounts: int = 1024,
+    ) -> None:
+        self.capacity = capacity
+        self.refill_rate = refill_rate
+        self.clock = clock or time.monotonic
+        self.max_accounts = max_accounts
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+
+    def check(self, account: str) -> tuple[bool, float]:
+        """One submission attempt by ``account``: ``(allowed,
+        retry_after_seconds)``."""
+        now = self.clock()
+        bucket = self._buckets.get(account)
+        if bucket is None:
+            bucket = TokenBucket(self.capacity, self.refill_rate, now)
+            self._buckets[account] = bucket
+            while len(self._buckets) > self.max_accounts:
+                self._buckets.popitem(last=False)
+        self._buckets.move_to_end(account)
+        return bucket.acquire(now)
+
+    @property
+    def accounts(self) -> int:
+        return len(self._buckets)
+
+
+def retry_after_header(seconds: float) -> str:
+    """HTTP ``Retry-After`` is integral seconds; round up so a client
+    honoring it is never throttled again on arrival."""
+    return str(max(1, math.ceil(seconds)))

@@ -190,3 +190,152 @@ def inject_faults(
 ) -> FaultInjector:
     """Convenience constructor mirroring :class:`FaultInjector`."""
     return FaultInjector(seed=seed, rate=rate, kinds=kinds, sites=sites, max_faults=max_faults)
+
+
+# ----------------------------------------------------------------------
+# service-layer faults (PR 6)
+#
+# The job server's robustness claims — a failed WAL write never loses an
+# acknowledged job, a crashed worker leads to bounded retry then
+# quarantine, a clock jump past a deadline fails the job cleanly — need
+# the same seeded, replayable treatment as the engine faults above.
+
+#: Service-layer injection sites.
+SERVICE_SITES = ("wal", "worker", "clock")
+
+
+class InjectedWALWriteError(OSError):
+    """A deterministically injected WAL disk-write failure."""
+
+    transient = True
+
+    def __init__(self) -> None:
+        super().__init__("injected WAL write failure (disk full)")
+
+
+class ServiceFaultInjector:
+    """Seeded fault injection for the analysis service.
+
+    * ``wal_rate`` — probability that a :class:`WriteAheadLog` disk
+      write raises :class:`InjectedWALWriteError` (surfacing as
+      :class:`~repro.errors.WALError` exactly like a real ``OSError``);
+    * ``worker_crash_rate`` — probability that a slice submission dies
+      with ``BrokenProcessPool``, exactly what a SIGKILLed worker
+      process produces;
+    * ``clock_jumps`` — ``{call_index: delta_seconds}``: the wrapped
+      clock (:meth:`clock`) jumps forward by ``delta`` at the given call
+      ordinal, driving deadline and rate-limit logic deterministically.
+
+    ``max_faults`` caps total injections; the same seed replays the same
+    fault sequence for the same workload.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        wal_rate: float = 0.0,
+        worker_crash_rate: float = 0.0,
+        clock_jumps: dict[int, float] | None = None,
+        max_faults: int | None = None,
+    ) -> None:
+        self.wal_rate = wal_rate
+        self.worker_crash_rate = worker_crash_rate
+        self.clock_jumps = dict(clock_jumps or {})
+        self.max_faults = max_faults
+        self.stats = FaultStats(
+            calls={site: 0 for site in SERVICE_SITES}, injected={}
+        )
+        self._rng = random.Random(seed)
+        self._clock_calls = 0
+        self._clock_offset = 0.0
+        self._originals: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+
+    def _should_inject(self, site: str, rate: float) -> bool:
+        self.stats.calls[site] += 1
+        if rate <= 0:
+            return False
+        if self.max_faults is not None and self.stats.total_injected >= self.max_faults:
+            return False
+        if self._rng.random() >= rate:
+            return False
+        key = (site, "injected")
+        self.stats.injected[key] = self.stats.injected.get(key, 0) + 1
+        return True
+
+    def clock(self, base=None):
+        """A monotonic clock that applies the configured jumps; hand it
+        to :class:`~repro.service.server.ServiceConfig`."""
+        import time as _time
+
+        base = base or _time.monotonic
+
+        def _clock() -> float:
+            self._clock_calls += 1
+            jump = self.clock_jumps.get(self._clock_calls)
+            if jump is not None:
+                self._clock_offset += jump
+                key = ("clock", "jump")
+                self.stats.injected[key] = self.stats.injected.get(key, 0) + 1
+            self.stats.calls["clock"] += 1
+            return base() + self._clock_offset
+
+        return _clock
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "ServiceFaultInjector":
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.service import pool as _pool_module
+        from repro.service import wal as _wal_module
+
+        injector = self
+        original_append = _wal_module.WriteAheadLog.append
+        original_submit = _pool_module.WorkerPool._submit_slice
+        self._originals = {"append": original_append, "submit": original_submit}
+
+        def patched_append(self, event, job_id, data=None):
+            if injector._should_inject("wal", injector.wal_rate):
+                from repro.errors import WALError
+
+                raise WALError(f"WAL append failed: {InjectedWALWriteError()}")
+            return original_append(self, event, job_id, data)
+
+        def patched_submit(self, payload):
+            if injector._should_inject("worker", injector.worker_crash_rate):
+                raise BrokenProcessPool(
+                    "injected worker crash: a process in the process pool "
+                    "was terminated abruptly"
+                )
+            return original_submit(self, payload)
+
+        _wal_module.WriteAheadLog.append = patched_append
+        _pool_module.WorkerPool._submit_slice = patched_submit
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        from repro.service import pool as _pool_module
+        from repro.service import wal as _wal_module
+
+        _wal_module.WriteAheadLog.append = self._originals["append"]
+        _pool_module.WorkerPool._submit_slice = self._originals["submit"]
+        self._originals = {}
+
+
+def inject_service_faults(
+    seed: int = 0,
+    wal_rate: float = 0.0,
+    worker_crash_rate: float = 0.0,
+    clock_jumps: dict[int, float] | None = None,
+    max_faults: int | None = None,
+) -> ServiceFaultInjector:
+    """Convenience constructor mirroring :class:`ServiceFaultInjector`."""
+    return ServiceFaultInjector(
+        seed=seed,
+        wal_rate=wal_rate,
+        worker_crash_rate=worker_crash_rate,
+        clock_jumps=clock_jumps,
+        max_faults=max_faults,
+    )

@@ -1,18 +1,36 @@
 """Tests for the hardened experiment batch layer: per-experiment
 isolation, deadlines, transient retry, and ERROR quarantine."""
 
+import os
 import time
 import types
 import warnings
 
-from repro.errors import StuckBehaviorWarning
+import pytest
+
+from repro.errors import ReproError, StuckBehaviorWarning
 from repro.experiments.base import (
     ExperimentOutcome,
     ExperimentResult,
+    QuarantinedItem,
     is_transient,
+    parallel_map,
     run_isolated,
 )
 from repro.experiments.report import FullReport, to_markdown
+
+
+def _square(n):
+    """Module-level so it pickles into parallel_map worker processes."""
+    return n * n
+
+
+def _square_or_die(n):
+    """Kills its worker process outright for the poisoned item — the
+    same observable as a segfault or the OOM killer."""
+    if n < 0:
+        os._exit(42)
+    return n * n
 
 
 def _module(name, run):
@@ -122,6 +140,47 @@ class TestTransientClassification:
         exc = ValueError("flagged")
         exc.transient = True
         assert is_transient(exc)
+
+
+class TestParallelMapHardening:
+    def test_serial_and_parallel_agree(self):
+        items = list(range(8))
+        assert parallel_map(_square, items, jobs=1) == [n * n for n in items]
+        assert parallel_map(_square, items, jobs=2) == [n * n for n in items]
+
+    def test_worker_crash_spares_surviving_items(self):
+        """One poisoned item kills its worker; with quarantine=True every
+        other result survives and the poisoned slot says what happened."""
+        items = [1, 2, -1, 3, 4, 5]
+        results = parallel_map(_square_or_die, items, jobs=2, quarantine=True)
+        bad = results[2]
+        assert isinstance(bad, QuarantinedItem)
+        assert bad.index == 2 and bad.item == -1
+        assert "crashed" in bad.error
+        assert "QUARANTINED item 2" in str(bad)
+        for index, item in enumerate(items):
+            if index != 2:
+                assert results[index] == item * item
+
+    def test_worker_crash_default_raises_naming_the_item(self):
+        with pytest.raises(ReproError) as info:
+            parallel_map(_square_or_die, [1, -1, 2], jobs=2)
+        message = str(info.value)
+        assert "item 1" in message and "-1" in message
+        assert "quarantine=True" in message  # tells the user the way out
+
+    def test_ordinary_exceptions_propagate_unchanged(self):
+        def boom(n):
+            raise ValueError(f"bad item {n}")
+
+        with pytest.raises(ValueError, match="bad item 0"):
+            parallel_map(boom, [0, 1], jobs=1)
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(_reciprocal, [1, 0, 2], jobs=2)
+
+
+def _reciprocal(n):
+    return 1 / n
 
 
 class TestFullReport:

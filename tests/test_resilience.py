@@ -203,6 +203,54 @@ class TestCheckpointResume:
         assert again.reason is ExhaustionReason.BEHAVIOR_BUDGET
 
 
+class TestCheckpointVersioning:
+    """The format-version stamp: save writes it, load rejects files from
+    an unknown (or pre-versioning) format instead of resuming from state
+    it may misinterpret."""
+
+    def _partial_checkpoint(self):
+        return enumerate_behaviors(
+            build_heavy3(), get_model("weak"), EnumerationLimits(max_behaviors=50)
+        ).checkpoint
+
+    def test_save_stamps_current_version(self, tmp_path):
+        from repro.core.enumerate import CHECKPOINT_FORMAT_VERSION
+
+        path = tmp_path / "search.ckpt"
+        self._partial_checkpoint().save(path)
+        loaded = EnumerationCheckpoint.load(path)
+        assert loaded.format_version == CHECKPOINT_FORMAT_VERSION
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        import pickle
+
+        checkpoint = self._partial_checkpoint()
+        checkpoint.format_version = 999
+        path = tmp_path / "future.ckpt"
+        path.write_bytes(pickle.dumps(checkpoint))
+        with pytest.raises(EnumerationError) as info:
+            EnumerationCheckpoint.load(path)
+        assert "version 999" in str(info.value)
+        assert "re-run the original enumeration" in str(info.value)
+
+    def test_load_rejects_pre_versioning_checkpoint(self, tmp_path):
+        """A file written before the stamp existed has no
+        ``format_version`` in its pickled ``__dict__`` — the class-level
+        default must NOT paper over that."""
+        import pickle
+
+        checkpoint = self._partial_checkpoint()
+        state = dict(vars(checkpoint))
+        del state["format_version"]
+        vars(checkpoint).clear()
+        vars(checkpoint).update(state)
+        path = tmp_path / "legacy.ckpt"
+        path.write_bytes(pickle.dumps(checkpoint))
+        with pytest.raises(EnumerationError) as info:
+            EnumerationCheckpoint.load(path)
+        assert "no format version" in str(info.value)
+
+
 class TestStatsAccounting:
     def test_counters_consistent_on_complete_runs(self):
         for name in ("SB", "MP", "WRC"):

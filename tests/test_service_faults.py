@@ -1,0 +1,148 @@
+"""Seeded fault injection against the service layer.
+
+Three robustness claims, each driven deterministically by
+:class:`~repro.testing.faults.ServiceFaultInjector`:
+
+* a failed WAL write surfaces as 503 and never loses an *acknowledged*
+  job — the submission either became durable or was refused;
+* a worker crashing mid-job is retried a bounded number of times from
+  its checkpoint, then quarantined with a clear error, and the server
+  keeps serving other jobs;
+* a clock jump past a job's deadline fails that job cleanly with a
+  deadline error instead of wedging it.
+"""
+
+import pytest
+
+from repro.errors import ServiceError, WALError
+from repro.service.pool import WorkerPool
+from repro.service.wal import WriteAheadLog, replay_wal
+from repro.testing.faults import ServiceFaultInjector, inject_service_faults
+
+from tests.test_service import HEAVY_SOURCE, SB_SOURCE, ServerThread
+from repro.service.client import ServiceClient
+
+
+class TestWALWriteFaults:
+    def test_injected_failure_surfaces_as_wal_error(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "jobs.wal", fsync=False)
+        with inject_service_faults(seed=1, wal_rate=1.0, max_faults=1):
+            with pytest.raises(WALError) as info:
+                wal.append("submitted", "j1", {})
+            assert "injected WAL write failure" in str(info.value)
+            wal.append("state", "j1", {"state": "running"})  # budget spent
+        wal.close()
+        # The failed append left no trace; the later one is durable.
+        records = replay_wal(tmp_path / "jobs.wal")
+        assert [r.event for r in records] == ["state"]
+
+    def test_submission_is_refused_not_lost(self, tmp_path):
+        """A 503 submission was never acknowledged, so 'zero lost
+        accepted jobs' holds vacuously — and the server stays up."""
+        with ServerThread(wal_dir=tmp_path) as fixture:
+            client = ServiceClient(fixture.url)
+            with inject_service_faults(seed=7, wal_rate=1.0, max_faults=1):
+                with pytest.raises(ServiceError) as info:
+                    client.submit(SB_SOURCE, model="weak")
+                assert info.value.status == 503
+                assert "cannot persist submission" in str(info.value)
+                # the refused job is genuinely absent, not half-created
+                assert fixture.server.store.jobs == {}
+                # fault budget exhausted: the retry is accepted and runs
+                job = client.submit(SB_SOURCE, model="weak")
+                done = client.wait(job["id"], timeout=30)
+            assert done["state"] == "completed"
+            assert done["result"]["executions"] == 4
+
+    def test_seeded_faults_replay_identically(self, tmp_path):
+        def run(seed: int) -> list[int]:
+            wal = WriteAheadLog(tmp_path / f"wal-{seed}", fsync=False)
+            outcomes = []
+            with inject_service_faults(seed=seed, wal_rate=0.5):
+                for i in range(20):
+                    try:
+                        wal.append("state", "j", {"i": i})
+                        outcomes.append(i)
+                    except WALError:
+                        pass
+            wal.close()
+            (tmp_path / f"wal-{seed}").unlink()
+            return outcomes
+
+        assert run(42) == run(42)  # same seed, same fault sequence
+        assert run(42) != run(43)  # different seed, different faults
+
+
+class TestWorkerCrashFaults:
+    def test_bounded_retry_then_quarantine(self, tmp_path):
+        """Every slice submission dies → retries burn down → the job is
+        quarantined with an error naming the crash count."""
+        pool = WorkerPool(workers=0, retries=2)
+        with inject_service_faults(seed=3, worker_crash_rate=1.0):
+            outcome = pool.run_job(SB_SOURCE, "weak", {}, None, tmp_path / "c.ckpt")
+        assert outcome.status == "quarantined"
+        assert outcome.attempts == 4  # 1 + retries(2) + the final straw
+        assert "crashed 3 times" in outcome.error
+        assert "retry budget 2 exhausted" in outcome.error
+
+    def test_transient_crash_recovers_from_checkpoint(self, tmp_path):
+        """One injected crash, then clean slices: the job completes and
+        the retry resumed from the checkpoint (attempts == 2)."""
+        pool = WorkerPool(workers=0, slice_behaviors=25, retries=1)
+        with inject_service_faults(seed=5, worker_crash_rate=1.0, max_faults=1):
+            outcome = pool.run_job(
+                HEAVY_SOURCE, "weak", {}, None, tmp_path / "c.ckpt"
+            )
+        assert outcome.status == "completed"
+        assert outcome.attempts == 2
+        assert outcome.result["complete"] is True
+
+    def test_quarantined_job_does_not_take_down_the_server(self, tmp_path):
+        with ServerThread(wal_dir=tmp_path, retries=1) as fixture:
+            client = ServiceClient(fixture.url)
+            with inject_service_faults(seed=9, worker_crash_rate=1.0, max_faults=2):
+                doomed = client.submit(HEAVY_SOURCE, model="weak")
+                bad = client.wait(doomed["id"], timeout=30)
+            assert bad["state"] == "quarantined"
+            assert "quarantined" in bad["error"]
+            # the server still accepts and completes new work
+            job = client.submit(SB_SOURCE, model="weak")
+            done = client.wait(job["id"], timeout=30)
+            assert done["state"] == "completed"
+            health = client.health()
+            assert health["jobs"]["quarantined"] == 1
+            assert health["jobs"]["completed"] == 1
+
+
+class TestClockFaults:
+    def test_clock_jump_past_deadline_fails_job_cleanly(self, tmp_path):
+        """The wrapped clock jumps forward 1000s mid-job; the driver's
+        next between-slice deadline check fails the job with a deadline
+        error instead of letting it run (or hang) forever."""
+        injector = ServiceFaultInjector(clock_jumps={3: 1000.0})
+        pool = WorkerPool(workers=0, slice_behaviors=25, clock=injector.clock())
+        # clock calls: 1 = run_job start, 2 = slice-1 deadline check,
+        # 3 = slice-2 deadline check ← jumps past the deadline here.
+        outcome = pool.run_job(
+            HEAVY_SOURCE, "weak", {}, 30.0, tmp_path / "c.ckpt"
+        )
+        assert outcome.status == "failed"
+        assert "deadline of 30.0s exceeded" in outcome.error
+        assert outcome.explored > 0  # it really was mid-enumeration
+        assert injector.stats.injected.get(("clock", "jump")) == 1
+
+    def test_clock_jump_through_the_server(self, tmp_path):
+        injector = ServiceFaultInjector(clock_jumps={4: 1000.0})
+        with ServerThread(
+            wal_dir=tmp_path,
+            slice_behaviors=25,
+            clock=injector.clock(),
+        ) as fixture:
+            client = ServiceClient(fixture.url)
+            job = client.submit(HEAVY_SOURCE, model="weak", deadline_seconds=30)
+            done = client.wait(job["id"], timeout=30)
+            assert done["state"] == "failed"
+            assert "deadline" in done["error"]
+            # a deadline-free job on the jumped clock still completes
+            ok = client.submit(SB_SOURCE, model="weak")
+            assert client.wait(ok["id"], timeout=30)["state"] == "completed"
