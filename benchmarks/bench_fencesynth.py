@@ -1,7 +1,157 @@
-"""TAB-FENCESYNTH benchmark: minimal-fence search cost."""
+"""Benchmark: static fence repair vs enumerative robust synthesis.
+
+Sweeps the litmus library under several models, computing each (test,
+model) pair's minimal SC-robustness repairs twice — once with the
+static set-cover solver of
+:mod:`repro.analysis.static.fencerepair` (dataflow facts shared per
+test), once with the enumerative
+``synthesize_fences(..., target="robust")`` ground truth — and emits a
+BENCH json recording, per pair, both wall-clocks, the fence counts,
+and whether the solution lists agree byte-for-byte.
+
+Exits nonzero when any completed pair disagrees, when any search is
+truncated, or when the static sweep's aggregate speedup falls below
+the 10x floor — the CI smoke job runs this with ``--quick``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fencesynth.py [--quick]
+        [--out BENCH_fencesynth.json]
+
+The ``test_*`` functions below keep the historical pytest-benchmark
+entry points (``pytest benchmarks/bench_fencesynth.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
 from repro.analysis.fencesynth import synthesize_fences
-from repro.litmus.library import get_test
+from repro.analysis.static.dataflow import compute_static_facts
+from repro.analysis.static.fencerepair import repair_fences
+from repro.litmus.library import all_tests, get_test
+
+FULL_MODELS = ("sc", "tso", "naive-tso", "pso", "weak", "weak-spec", "weak-corr")
+QUICK_MODELS = ("tso", "pso", "weak")
+
+#: Acceptance floor for the static sweep's aggregate speedup.
+MIN_SPEEDUP = 10.0
+
+
+def run_benchmark(models: tuple[str, ...]) -> dict:
+    rows = []
+    mismatches: list[str] = []
+    truncated: list[str] = []
+    static_total = enum_total = 0.0
+    for test in all_tests():
+        start = time.perf_counter()
+        facts = compute_static_facts(test.program)
+        facts_seconds = time.perf_counter() - start
+        static_total += facts_seconds
+        for model in models:
+            start = time.perf_counter()
+            static = repair_fences(test.program, model, facts=facts)
+            static_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            enum = synthesize_fences(
+                test.program, model, target="robust", max_subsets=5000
+            )
+            enum_seconds = time.perf_counter() - start
+            static_total += static_seconds
+            enum_total += enum_seconds
+
+            complete = static.complete and enum.complete
+            if not complete:
+                truncated.append(f"{test.name}/{model}")
+                agree = None
+            else:
+                agree = sorted(tuple(s) for s in static.solutions) == sorted(
+                    tuple(s) for s in enum.solutions
+                )
+                if not agree:
+                    mismatches.append(f"{test.name}/{model}")
+            rows.append(
+                {
+                    "test": test.name,
+                    "model": model,
+                    "static_fences": static.fence_count,
+                    "enum_fences": enum.fence_count,
+                    "solutions": len(static.solutions),
+                    "exact": static.exact,
+                    "seconds_static": static_seconds,
+                    "seconds_enum": enum_seconds,
+                    "complete": complete,
+                    "agree": agree,
+                }
+            )
+    speedup = enum_total / static_total if static_total > 0 else float("inf")
+    return {
+        "benchmark": "fencesynth",
+        "models": list(models),
+        "pairs": rows,
+        "mismatches": mismatches,
+        "truncated": truncated,
+        "seconds_static_total": static_total,
+        "seconds_enum_total": enum_total,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "all_agree": not mismatches and not truncated,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"sweep only {QUICK_MODELS} instead of {FULL_MODELS}",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_fencesynth.json",
+        help="path for the BENCH json (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(QUICK_MODELS if args.quick else FULL_MODELS)
+    result["quick"] = args.quick
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    print(
+        f"BENCH fencesynth: {len(result['pairs'])} (test, model) pairs, "
+        f"static {result['seconds_static_total']:.2f}s vs enumerative "
+        f"{result['seconds_enum_total']:.2f}s ({result['speedup']:.1f}x)"
+    )
+    print(f"BENCH json written to {args.out}")
+
+    status = 0
+    if result["mismatches"]:
+        print(
+            f"FAIL: static and enumerative minimal fence sets differ on "
+            f"{', '.join(result['mismatches'])}",
+            file=sys.stderr,
+        )
+        status = 1
+    if result["truncated"]:
+        print(
+            f"FAIL: search truncated on {', '.join(result['truncated'])}",
+            file=sys.stderr,
+        )
+        status = 1
+    if result["speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {result['speedup']:.1f}x < {MIN_SPEEDUP:.0f}x floor",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+# -- pytest-benchmark entry points ------------------------------------
 
 
 def test_synthesize_sb_weak(benchmark):
@@ -19,8 +169,20 @@ def test_synthesize_iriw_weak(benchmark):
     assert synthesis.fence_count == 2
 
 
-def test_fencesynth_experiment(benchmark):
-    from repro.experiments import fencesynth_exp
+def test_repair_library_weak(benchmark):
+    def sweep():
+        return [
+            repair_fences(test.program, "weak") for test in all_tests()
+        ]
 
-    result = benchmark(fencesynth_exp.run)
-    assert result.passed, result.summary()
+    repairs = benchmark(sweep)
+    assert all(repair.complete for repair in repairs)
+
+
+def test_fencerepair_quick_gates(benchmark):
+    result = benchmark(run_benchmark, QUICK_MODELS)
+    assert result["all_agree"], (result["mismatches"], result["truncated"])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,12 +16,11 @@ from repro.analysis.delays import (
     find_critical_cycles,
 )
 from repro.analysis.fencesynth import (
-    FenceSite,
     FenceSynthesisResult,
-    candidate_sites,
-    insert_fences,
+    behavior_signature,
     synthesize_fences,
 )
+from repro.analysis.sites import FenceSite, candidate_sites, insert_fences
 from repro.analysis.compare import (
     ChainReport,
     OutcomeSets,
@@ -54,6 +53,7 @@ __all__ = [
     "find_critical_cycles",
     "FenceSite",
     "FenceSynthesisResult",
+    "behavior_signature",
     "candidate_sites",
     "insert_fences",
     "synthesize_fences",

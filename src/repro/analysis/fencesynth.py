@@ -1,99 +1,130 @@
-"""Minimal fence synthesis.
+"""Minimal fence synthesis (the enumerative ground truth).
 
 Shasha & Snir [27] (paper §7) compute which program orderings are
 "involved in potential cycles and are therefore actually necessary";
 everything else may be left to a weaker memory system.  This module does
-the converse, as a verification-driven search: given a litmus condition
-that must be *forbidden* and a memory model, find the minimal sets of
-full-fence insertions that forbid it — by exhaustively enumerating
-behaviors of each fenced variant.
+the converse, as a verification-driven search: given a goal that must
+hold under a memory model, find the minimal sets of full-fence
+insertions that achieve it — by exhaustively enumerating behaviors of
+each fenced variant.  Two goals are supported:
+
+* ``target="condition"`` — a litmus condition must become *forbidden*
+  (the historical mode, for ``exists`` conditions describing a relaxed
+  outcome),
+* ``target="robust"`` — the fenced program must be **SC-robust**: its
+  behavior signature (final registers × realizable final memory) under
+  the model must collapse to its SC signature.
+
+The second is the goal the static set-cover pass in
+:mod:`repro.analysis.static.fencerepair` computes without enumerating;
+this module is the verification oracle it is cross-validated against,
+over the shared site vocabulary of :mod:`repro.analysis.sites`.
 
 The result is model-dependent in exactly the way hardware folklore says:
 MP needs two fences under WEAK but only the writer-side fence under PSO,
 SB needs one per thread everywhere weaker than SC, and so on — the
-TAB-FENCESYNTH experiment pins those down.
+TAB-FENCESYNTH and TAB-FENCEREPAIR experiments pin those down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
+from typing import Callable
 
-from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
-from repro.isa.instructions import Fence
-from repro.isa.program import Program, Thread
+from repro.analysis.sites import FenceSite, candidate_sites, insert_fences
+from repro.core.enumerate import EnumerationLimits, EnumerationResult, enumerate_behaviors
+from repro.isa.program import Program
 from repro.litmus.conditions import Condition
 from repro.litmus.finalstate import realizable_final_memory
 from repro.litmus.test import LitmusTest
 from repro.models.base import MemoryModel
 from repro.models.registry import get_model
 
+__all__ = [
+    "FenceSite",
+    "FenceSynthesisResult",
+    "behavior_signature",
+    "candidate_sites",
+    "insert_fences",
+    "synthesize_fences",
+]
 
-@dataclass(frozen=True, order=True)
-class FenceSite:
-    """A fence insertion point: before instruction ``position`` of
-    ``thread`` (so ``position`` ranges over 1..len(code)-1)."""
-
-    thread: str
-    position: int
-
-    def __str__(self) -> str:
-        return f"{self.thread}@{self.position}"
-
-
-def candidate_sites(program: Program) -> tuple[FenceSite, ...]:
-    """All gaps between consecutive instructions where at least one
-    neighbor is a memory operation (fences elsewhere cannot matter)."""
-    sites = []
-    for thread in program.threads:
-        for position in range(1, len(thread.code)):
-            before = thread.code[position - 1]
-            after = thread.code[position]
-            if before.op_class.is_memory() or after.op_class.is_memory():
-                if not isinstance(before, Fence) and not isinstance(after, Fence):
-                    sites.append(FenceSite(thread.name, position))
-    return tuple(sites)
+#: One observable behavior: (frozenset of final-register items,
+#: frozenset of final-memory items).
+Behavior = tuple[frozenset, frozenset]
 
 
-def insert_fences(program: Program, sites: tuple[FenceSite, ...]) -> Program:
-    """A copy of ``program`` with full fences inserted at ``sites``."""
-    by_thread: dict[str, list[int]] = {}
-    for site in sites:
-        by_thread.setdefault(site.thread, []).append(site.position)
-    threads = []
-    for thread in program.threads:
-        positions = sorted(by_thread.get(thread.name, []), reverse=True)
-        code = list(thread.code)
-        labels = dict(thread.labels)
-        for position in positions:
-            code.insert(position, Fence())
-            labels = {
-                name: (index + 1 if index >= position else index)
-                for name, index in labels.items()
-            }
-        threads.append(Thread(thread.name, tuple(code), labels))
-    return Program(tuple(threads), dict(program.initial_memory), program.name)
+def behavior_signature(
+    result: EnumerationResult, locations: tuple[str, ...]
+) -> frozenset:
+    """The observable-behavior signature of an enumeration: every
+    (final registers, realizable final memory over ``locations``) pair.
+
+    Register outcomes alone miss store-only relaxations (2+2W's
+    non-SC outcome lives entirely in final memory), so robustness
+    comparisons must use this joint signature.
+    """
+    behaviors: set[Behavior] = set()
+    for execution in result.executions:
+        registers = frozenset(execution.final_registers().items())
+        for assignment in realizable_final_memory(execution, locations):
+            behaviors.add((registers, frozenset(assignment.items())))
+    return frozenset(behaviors)
 
 
-def _condition_forbidden(
-    program: Program,
+def _condition_check(
     condition: Condition,
     model: MemoryModel,
     limits: EnumerationLimits | None,
-) -> bool:
-    result = enumerate_behaviors(program, model, limits)
+) -> Callable[[Program], tuple[bool, bool]]:
+    """Goal check for ``target="condition"``: (forbidden, conclusive).
+
+    Observing the condition in a *partial* enumeration is conclusive
+    (behaviors found are certainly realizable); not observing it is
+    conclusive only when the enumeration completed.
+    """
     locations = condition.locations()
-    for execution in result.executions:
-        registers = execution.final_registers()
-        for assignment in realizable_final_memory(execution, locations):
-            if condition.holds_in(registers, assignment):
-                return False
-    return True
+
+    def check(program: Program) -> tuple[bool, bool]:
+        result = enumerate_behaviors(program, model, limits)
+        for execution in result.executions:
+            registers = execution.final_registers()
+            for assignment in realizable_final_memory(execution, locations):
+                if condition.holds_in(registers, assignment):
+                    return False, True
+        return True, result.complete
+
+    return check
+
+
+def _robust_check(
+    sc_signature: frozenset,
+    model: MemoryModel,
+    limits: EnumerationLimits | None,
+    locations: tuple[str, ...],
+) -> Callable[[Program], tuple[bool, bool]]:
+    """Goal check for ``target="robust"``: (robust, conclusive).
+
+    A non-SC behavior in a partial enumeration conclusively refutes
+    robustness; seeing only SC behaviors certifies it only when the
+    enumeration completed.  Fences are semantic no-ops under SC, so the
+    unfenced program's SC signature is every fenced variant's too.
+    """
+
+    def check(program: Program) -> tuple[bool, bool]:
+        result = enumerate_behaviors(program, model, limits)
+        signature = behavior_signature(result, locations)
+        if not signature <= sc_signature:
+            return False, True
+        return True, result.complete
+
+    return check
 
 
 @dataclass
 class FenceSynthesisResult:
-    """Minimal fence placements forbidding the condition."""
+    """Minimal fence placements achieving the synthesis target."""
 
     test_name: str
     model_name: str
@@ -101,6 +132,9 @@ class FenceSynthesisResult:
     solutions: list[tuple[FenceSite, ...]]  #: all minimum-size solutions
     already_forbidden: bool = False
     subsets_checked: int = 0
+    target: str = "condition"
+    complete: bool = True  #: False when some budget truncated the search
+    reason: str | None = None  #: why the search is partial
 
     @property
     def fence_count(self) -> int | None:
@@ -113,15 +147,17 @@ class FenceSynthesisResult:
         return len(self.solutions[0])
 
     def summary(self) -> str:
+        goal = "robust" if self.target == "robust" else "forbidden"
+        caveat = f" [partial: {self.reason}]" if not self.complete else ""
         if self.already_forbidden:
             return (
-                f"{self.test_name} under {self.model_name}: already forbidden "
-                f"(0 fences needed)"
+                f"{self.test_name} under {self.model_name}: already {goal} "
+                f"(0 fences needed){caveat}"
             )
         if not self.solutions:
             return (
                 f"{self.test_name} under {self.model_name}: NO fence placement "
-                f"forbids the outcome"
+                f"makes the program {goal}{caveat}"
             )
         rendered = " | ".join(
             "{" + ", ".join(str(site) for site in solution) + "}"
@@ -129,39 +165,97 @@ class FenceSynthesisResult:
         )
         return (
             f"{self.test_name} under {self.model_name}: {self.fence_count} "
-            f"fence(s) suffice; minimal placements: {rendered}"
+            f"fence(s) suffice; minimal placements: {rendered}{caveat}"
         )
 
 
 def synthesize_fences(
-    test: LitmusTest,
+    test: LitmusTest | Program,
     model: MemoryModel | str,
     limits: EnumerationLimits | None = None,
     max_fences: int | None = None,
+    *,
+    target: str = "condition",
+    max_subsets: int | None = None,
 ) -> FenceSynthesisResult:
-    """Find all minimum-size full-fence insertions making the test's
-    condition unobservable under ``model``.
+    """Find all minimum-size full-fence insertions achieving ``target``
+    under ``model``, by exhaustive enumeration of fenced variants.
 
-    Intended for ``exists`` conditions describing a forbidden relaxed
-    outcome; searches subsets of insertion points by increasing size and
-    stops at the first size admitting a solution.
+    ``target="condition"`` (requires a :class:`LitmusTest`) makes the
+    test's condition unobservable; ``target="robust"`` (accepts a bare
+    :class:`Program` too) makes the program SC-robust.  Searches subsets
+    of insertion points by increasing size and stops at the first size
+    admitting a solution, so ``solutions`` lists *all* minimum-size
+    sets, in :func:`itertools.combinations` order over the candidate
+    vocabulary.
+
+    ``max_fences`` bounds the solution size; ``max_subsets`` bounds the
+    total number of fenced variants enumerated.  Exhausting either —
+    or any inner enumeration budget — returns an honest partial result
+    (``complete=False`` with ``reason``) instead of hanging or guessing.
     """
     if isinstance(model, str):
         model = get_model(model)
-    sites = candidate_sites(test.program)
-    result = FenceSynthesisResult(test.name, model.name, sites, [])
+    if target not in ("condition", "robust"):
+        raise ValueError(f"unknown synthesis target: {target!r}")
+    if isinstance(test, Program):
+        if target == "condition":
+            raise ValueError("target='condition' needs a LitmusTest, not a Program")
+        program = test
+        name = test.name
+    else:
+        program = test.program
+        name = test.name
 
-    if _condition_forbidden(test.program, test.condition, model, limits):
-        result.already_forbidden = True
+    sites = candidate_sites(program)
+    result = FenceSynthesisResult(name, model.name, sites, [], target=target)
+
+    if target == "condition":
+        assert isinstance(test, LitmusTest)
+        check = _condition_check(test.condition, model, limits)
+    else:
+        locations = program.locations()
+        sc_result = enumerate_behaviors(program, get_model("sc"), limits)
+        if not sc_result.complete:
+            result.complete = False
+            result.reason = "SC enumeration budget exhausted"
+            return result
+        sc_signature = behavior_signature(sc_result, locations)
+        check = _robust_check(sc_signature, model, limits, locations)
+
+    achieved, conclusive = check(program)
+    if achieved:
+        if conclusive:
+            result.already_forbidden = True
+        else:
+            result.complete = False
+            result.reason = "enumeration budget exhausted on the unfenced program"
         return result
 
     budget = len(sites) if max_fences is None else min(max_fences, len(sites))
     for size in range(1, budget + 1):
         for subset in combinations(sites, size):
+            if max_subsets is not None and result.subsets_checked >= max_subsets:
+                result.complete = False
+                result.reason = (
+                    f"subset budget ({max_subsets}) exhausted at size {size}"
+                )
+                return result
             result.subsets_checked += 1
-            fenced = insert_fences(test.program, subset)
-            if _condition_forbidden(fenced, test.condition, model, limits):
+            fenced = insert_fences(program, subset)
+            achieved, conclusive = check(fenced)
+            if achieved and conclusive:
                 result.solutions.append(subset)
+            elif achieved:
+                # The budget ran out before this variant was decided:
+                # don't claim it, but don't pretend the search was whole.
+                result.complete = False
+                result.reason = "enumeration budget exhausted on a fenced variant"
         if result.solutions:
             break
+    if not result.solutions and budget < len(sites):
+        result.complete = False
+        result.reason = result.reason or (
+            f"no solution within max_fences={max_fences}"
+        )
     return result

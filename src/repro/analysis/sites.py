@@ -1,0 +1,86 @@
+"""The shared fence-site vocabulary.
+
+Both fence synthesizers — the enumerative search in
+:mod:`repro.analysis.fencesynth` and the static set-cover pass in
+:mod:`repro.analysis.static.fencerepair` — describe repairs in the same
+coordinates, so their results can be compared byte-for-byte:
+
+* a :class:`FenceSite` names an insertion *gap*: before instruction
+  ``position`` of ``thread`` (``position`` ranges over 1..len(code)-1),
+* :func:`candidate_sites` is the canonical candidate vocabulary for a
+  program (both searches draw subsets from exactly this tuple, in
+  exactly this order),
+* :func:`insert_fences` applies a site set, shifting labels correctly.
+
+Historically the static analyzer had its own ``SuggestedFence`` type
+with the same fields; it is now an alias of :class:`FenceSite`.
+
+This module is dependency-light on purpose: it imports only the ISA, so
+the static layer can use it without touching the enumerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Fence
+from repro.isa.program import Program, Thread
+
+
+@dataclass(frozen=True, order=True)
+class FenceSite:
+    """A fence insertion point: before instruction ``position`` of
+    ``thread`` (so ``position`` ranges over 1..len(code)-1)."""
+
+    thread: str
+    position: int
+
+    def __str__(self) -> str:
+        return f"{self.thread}@{self.position}"
+
+
+def candidate_sites(program: Program) -> tuple[FenceSite, ...]:
+    """All gaps between consecutive instructions where at least one
+    neighbor is a memory operation (fences elsewhere cannot matter).
+
+    Gaps **adjacent to an existing fence** are skipped: a new fence next
+    to an old one adds no ordering the old one does not already provide,
+    so on a partially-fenced program the search space shrinks to the
+    genuinely unfenced gaps.  (If the existing fence is a weak
+    fine-grained kind that leaves some pair unordered, neither would a
+    second fence in the same gap change that pair's *gap* — the pair
+    spans the same insertion points — so the skip never hides a repair
+    that some non-adjacent gap could not also express.)
+    """
+    sites = []
+    for thread in program.threads:
+        for position in range(1, len(thread.code)):
+            before = thread.code[position - 1]
+            after = thread.code[position]
+            if before.op_class.is_memory() or after.op_class.is_memory():
+                if not isinstance(before, Fence) and not isinstance(after, Fence):
+                    sites.append(FenceSite(thread.name, position))
+    return tuple(sites)
+
+
+def insert_fences(program: Program, sites: tuple[FenceSite, ...]) -> Program:
+    """A copy of ``program`` with full fences inserted at ``sites``."""
+    by_thread: dict[str, list[int]] = {}
+    for site in sites:
+        by_thread.setdefault(site.thread, []).append(site.position)
+    threads = []
+    for thread in program.threads:
+        positions = sorted(by_thread.get(thread.name, []), reverse=True)
+        code = list(thread.code)
+        labels = dict(thread.labels)
+        for position in positions:
+            code.insert(position, Fence())
+            labels = {
+                name: (index + 1 if index >= position else index)
+                for name, index in labels.items()
+            }
+        threads.append(Thread(thread.name, tuple(code), labels))
+    return Program(tuple(threads), dict(program.initial_memory), program.name)
+
+
+__all__ = ["FenceSite", "candidate_sites", "insert_fences"]

@@ -17,6 +17,14 @@ edges involved in potential critical cycles must be enforced.
   soundness audits of reordering tables (coherence, SC-containment,
   RMW expansion, fence power) and the static containment lattice
   between registered models.
+* :mod:`repro.analysis.static.fencerepair` — minimal fence repair as
+  an exact weighted set cover of the delay edges (full fences plus
+  table-priced acquire/release upgrades), byte-identical to the
+  enumerative ``synthesize_fences(..., target="robust")`` on exact
+  programs.
+* :mod:`repro.analysis.static.robustness` — SC-robustness certificates
+  and SC ⊆ TSO ⊆ PSO ⊆ WEAK portability verdicts, with conservative
+  degradation on over-approximated programs.
 
 Every verdict here is an *over-approximation* of the enumerator's
 dynamic answer; the TAB-STATIC and TAB-DATAFLOW experiments
@@ -45,6 +53,14 @@ from repro.analysis.static.dataflow import (
     compute_static_facts,
     describe_facts,
 )
+from repro.analysis.static.fencerepair import (
+    FenceRepairResult,
+    RepairAction,
+    UpgradeRepairResult,
+    apply_repairs,
+    repair_fences,
+    repair_upgrades,
+)
 from repro.analysis.static.modellint import (
     ModelLintFinding,
     canonical_chain_findings,
@@ -52,6 +68,14 @@ from repro.analysis.static.modellint import (
     lint_all_models,
     lint_model,
     statically_contained,
+)
+from repro.analysis.static.robustness import (
+    LATTICE,
+    PortabilityReport,
+    PortabilityStep,
+    RobustnessCertificate,
+    certify_robustness,
+    check_portability,
 )
 
 __all__ = [
@@ -81,4 +105,16 @@ __all__ = [
     "lint_all_models",
     "lint_model",
     "statically_contained",
+    "FenceRepairResult",
+    "RepairAction",
+    "UpgradeRepairResult",
+    "apply_repairs",
+    "repair_fences",
+    "repair_upgrades",
+    "LATTICE",
+    "PortabilityReport",
+    "PortabilityStep",
+    "RobustnessCertificate",
+    "certify_robustness",
+    "check_portability",
 ]

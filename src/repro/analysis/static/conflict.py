@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.analysis.sites import FenceSite
 from repro.analysis.static.dataflow import (
     StaticFacts,
     ThreadFacts,
@@ -151,16 +152,11 @@ class RacePrediction:
         )
 
 
-@dataclass(frozen=True)
-class SuggestedFence:
-    """A fence insertion gap (before instruction ``position``) covering
-    at least one required delay edge."""
-
-    thread: str
-    position: int
-
-    def __str__(self) -> str:
-        return f"{self.thread}@{self.position}"
+#: A fence insertion gap (before instruction ``position``) covering at
+#: least one required delay edge.  Historically its own dataclass; now
+#: the shared :class:`repro.analysis.sites.FenceSite`, so static and
+#: enumerative synthesis report identical coordinates.
+SuggestedFence = FenceSite
 
 
 @dataclass
@@ -338,13 +334,28 @@ def enforced_order(
     *,
     addr_deps: bool = True,
     drop_addr_dep_target: int | None = None,
+    bypass_coherence: bool = False,
 ) -> list[list[bool]]:
     """The per-thread enforced partial order: ``matrix[i][j]`` (i < j) is
     True when the model definitely keeps instruction ``i`` ordered before
     instruction ``j`` in every execution — by a table entry, a fence or
     acquire/release annotation, a definite dataflow edge, a §5.1
     address-resolution dependency (non-speculative models, with facts),
-    or a transitive chain of those."""
+    or a transitive chain of those.
+
+    ``bypass_coherence=True`` additionally treats a plain same-address
+    Store→Load pair as enforced under ``store_load_bypass`` models: the
+    table exempts the pair (requirement NONE) because the load may
+    overtake the *buffered* store, but forwarding means it can never
+    observe an older value — the pair is ordered in every observable
+    outcome, which is what cycle-liveness cares about.  Crucially the
+    forwarded pair is only *observably* ordered, not globally ordered:
+    the load can retire (off the forwarded value) before the store
+    drains to memory, so ``S x → L x → S y`` must NOT conclude
+    ``S x → S y``.  Forwarded pairs are therefore applied to the matrix
+    *after* the transitive closure and never feed it.  Off by default
+    because the raw matrix is also used to answer "which pairs does the
+    table itself enforce" (the PR-2/PR-3 contract)."""
     size = len(thread.code)
     matrix = [[False] * size for _ in range(size)]
     thread_facts: ThreadFacts | None = None
@@ -355,26 +366,38 @@ def enforced_order(
             thread_facts = None
     precise = thread_facts is not None and thread_facts.analyzable
 
+    def same_single_address(i: int, j: int) -> bool:
+        if precise:
+            first = thread_facts.accesses.get(i)
+            second = thread_facts.accesses.get(j)
+            return (
+                first is not None
+                and second is not None
+                and first.addresses is not None
+                and len(first.addresses) == 1
+                and first.addresses == second.addresses
+            )
+        first_loc = _static_location(thread.code[i])
+        second_loc = _static_location(thread.code[j])
+        return first_loc is not None and first_loc == second_loc
+
+    forwarded: list[tuple[int, int]] = []
     for i in range(size):
         for j in range(i + 1, size):
             requirement = model.requirement(thread.code[i], thread.code[j])
             if requirement is OrderRequirement.ALWAYS:
                 matrix[i][j] = True
             elif requirement is OrderRequirement.SAME_ADDRESS:
-                if precise:
-                    first = thread_facts.accesses.get(i)
-                    second = thread_facts.accesses.get(j)
-                    matrix[i][j] = (
-                        first is not None
-                        and second is not None
-                        and first.addresses is not None
-                        and len(first.addresses) == 1
-                        and first.addresses == second.addresses
-                    )
-                else:
-                    first_loc = _static_location(thread.code[i])
-                    second_loc = _static_location(thread.code[j])
-                    matrix[i][j] = first_loc is not None and first_loc == second_loc
+                matrix[i][j] = same_single_address(i, j)
+            elif (
+                bypass_coherence
+                and requirement is OrderRequirement.NONE
+                and model.store_load_bypass
+                and thread.code[i].op_class is OpClass.STORE
+                and thread.code[j].op_class is OpClass.LOAD
+                and same_single_address(i, j)
+            ):
+                forwarded.append((i, j))
 
     if precise:
         for writer, reader in thread_facts.definite_deps:
@@ -398,6 +421,10 @@ def enforced_order(
                 for j in range(k + 1, size):
                     if row_k[j]:
                         row_i[j] = True
+    # Forwarded Store→Load pairs are observably ordered as direct pairs
+    # only — applied after the closure so they never extend a chain.
+    for i, j in forwarded:
+        matrix[i][j] = True
     return matrix
 
 
@@ -544,11 +571,15 @@ def analyze_program(
     *,
     precise: bool = True,
     facts: StaticFacts | None = None,
+    bypass_coherence: bool = False,
 ) -> StaticReport:
     """The full static analysis of ``program`` under ``model`` — no
     enumeration anywhere on this path.  ``precise=True`` (the default)
     runs on the dataflow facts; ``precise=False`` restores the PR-2
-    syntactic analysis (register-computed addresses alias everything)."""
+    syntactic analysis (register-computed addresses alias everything).
+    ``bypass_coherence=True`` refines store-buffer models as documented
+    on :func:`enforced_order` — the setting the repair/robustness layer
+    uses, since observable order is what decides cycle liveness."""
     if isinstance(model, str):
         model = get_model(model)
     if precise:
@@ -559,7 +590,9 @@ def analyze_program(
     accesses = collect_accesses(program, facts)
     cycles = find_critical_cycles(program, accesses)
     enforced = {
-        thread.name: enforced_order(thread, model, facts)
+        thread.name: enforced_order(
+            thread, model, facts, bypass_coherence=bypass_coherence
+        )
         for thread in program.threads
     }
 

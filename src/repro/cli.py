@@ -14,6 +14,12 @@ Usage examples::
     python -m repro wellsync MP -m weak --sync flag
     python -m repro analyze SB -m weak -m tso    # static delay-set analysis
     python -m repro analyze --library -m weak    # ... whole litmus library
+    python -m repro analyze MP -m weak --repair  # static minimal fence repair
+    python -m repro fences MP -m weak --static --upgrades
+    python -m repro fences MP -m weak --verify   # static == enumerative gate
+    python -m repro robust MP -m pso --static    # robustness certificate
+    python -m repro robust MP --portability tso  # lattice portability
+    python -m repro robust --library -m weak     # certify the whole library
     python -m repro models --lint               # audit every model table
     python -m repro lint SB --strict            # nonzero exit on warnings
     python -m repro experiments --markdown EXPERIMENTS.md
@@ -96,9 +102,9 @@ def _enumerate_pair(task: tuple) -> tuple:
 def _analyze_pair(task: tuple) -> str:
     """Process-pool work unit for ``analyze --library``: one (test,
     model) static analysis, returned as a rendered line."""
-    from repro.analysis.static import analyze_program
+    from repro.analysis.static import analyze_program, repair_fences
 
-    name, model_name, precise = task
+    name, model_name, precise, repair = task
     test = get_test(name)
     report = analyze_program(test.program, model_name, precise=precise)
     if report.precise:
@@ -106,10 +112,15 @@ def _analyze_pair(task: tuple) -> str:
         caveat = f" exact={exact} approx={approx}"
     else:
         caveat = " [conservative]" if report.conservative else ""
+    repaired = ""
+    if repair:
+        result = repair_fences(test.program, model_name)
+        count = result.fence_count
+        repaired = f" repair={'-' if count is None else count}"
     return (
         f"{name:<16} {model_name:<10} "
         f"cycles={len(report.live_cycles)} races={len(report.races)} "
-        f"delays={len(report.delays)}{caveat}"
+        f"delays={len(report.delays)}{repaired}{caveat}"
     )
 
 
@@ -207,12 +218,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.analysis.static import analyze_program
+    from repro.analysis.static import analyze_program, repair_fences
 
     precise = not args.syntactic
     if args.library:
         tasks = [
-            (test.name, model_name, precise)
+            (test.name, model_name, precise, args.repair)
             for test in all_tests()
             for model_name in args.model
         ]
@@ -226,6 +237,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     for model_name in args.model:
         report = analyze_program(test.program, model_name, precise=precise)
         print(report.summary())
+        if args.repair:
+            repair = repair_fences(test.program, model_name)
+            print("  " + repair.summary())
         racy |= bool(report.races)
     return 1 if racy else 0
 
@@ -374,8 +388,41 @@ def cmd_wellsync(args: argparse.Namespace) -> int:
 
 def cmd_robust(args: argparse.Namespace) -> int:
     from repro.analysis.compare import check_robustness
+    from repro.analysis.static import certify_robustness, check_portability
+
+    if args.library:
+        model_names = args.model
+        for test in all_tests():
+            for model_name in model_names:
+                certificate = certify_robustness(test.program, model_name)
+                repairs = ""
+                if certificate.repairs:
+                    count = len(certificate.repairs[0])
+                    repairs = (
+                        f"  {count} fence(s): "
+                        + " | ".join(
+                            "{" + ", ".join(str(s) for s in sol) + "}"
+                            for sol in certificate.repairs[:3]
+                        )
+                    )
+                print(
+                    f"{test.name:<16} {model_name:<10} "
+                    f"{certificate.verdict:<22}{repairs}"
+                )
+        return 0
 
     test = _load_test(args.test)
+    if args.portability:
+        report = check_portability(test.program, args.portability)
+        print(report.summary())
+        return 0 if all(step.portable for step in report.steps) else 1
+    if args.static:
+        exit_code = 0
+        for model_name in args.model:
+            certificate = certify_robustness(test.program, model_name)
+            print(certificate.summary())
+            exit_code |= 0 if certificate.robust else 1
+        return exit_code
     report = check_robustness(test.program, args.model[0], _limits(args))
     print(report.summary())
     return 0 if report.robust else 1
@@ -398,10 +445,48 @@ def cmd_delays(args: argparse.Namespace) -> int:
 
 def cmd_fences(args: argparse.Namespace) -> int:
     from repro.analysis.fencesynth import synthesize_fences
+    from repro.analysis.static import repair_fences, repair_upgrades
 
     test = _load_test(args.test)
+    model_name = args.model[0]
+
+    if args.static or args.verify:
+        static = repair_fences(test.program, model_name)
+        print(static.summary())
+        if args.upgrades:
+            print(repair_upgrades(test.program, model_name).summary())
+        if not args.verify:
+            return 0 if static.fence_count is not None else 1
+        enumerative = synthesize_fences(
+            test.program,
+            model_name,
+            _limits(args),
+            max_fences=args.max_fences,
+            target="robust",
+            max_subsets=args.max_subsets,
+        )
+        print(enumerative.summary())
+        if not enumerative.complete:
+            print("verify: INCONCLUSIVE — the enumerative search was truncated")
+            return 1
+        agree = (
+            enumerative.already_forbidden == static.already_robust
+            and enumerative.solutions == static.solutions
+        )
+        print(
+            "verify: static and enumerative minimal sets "
+            + ("AGREE (byte-identical)" if agree else "DISAGREE")
+        )
+        return 0 if agree else 1
+
+    target = "robust" if args.robust else "condition"
     synthesis = synthesize_fences(
-        test, args.model[0], _limits(args), max_fences=args.max_fences
+        test.program if args.robust else test,
+        model_name,
+        _limits(args),
+        max_fences=args.max_fences,
+        target=target,
+        max_subsets=args.max_subsets,
     )
     print(synthesis.summary())
     return 0 if synthesis.fence_count is not None else 1
@@ -726,6 +811,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="with --library, fan (test, model) pairs across N worker processes",
     )
+    p_analyze.add_argument(
+        "--repair",
+        action="store_true",
+        help="also compute the minimal static fence repair (set cover "
+        "over the delay edges) per model",
+    )
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_dataflow = sub.add_parser(
@@ -825,8 +916,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_robust = sub.add_parser(
         "robust", help="check SC-robustness of a test under a weak model"
     )
-    p_robust.add_argument("test")
+    p_robust.add_argument("test", nargs="?", help="test name/file (omit with --library)")
     add_common(p_robust)
+    p_robust.add_argument(
+        "--static",
+        action="store_true",
+        help="certify robustness statically (no enumeration), with "
+        "minimal repairs attached to refutations",
+    )
+    p_robust.add_argument(
+        "--library",
+        action="store_true",
+        help="static robustness certificates for the whole litmus "
+        "library under each --model",
+    )
+    p_robust.add_argument(
+        "--portability",
+        metavar="MODEL",
+        help="lattice portability: verified under MODEL, which cycles "
+        "break under each weaker model and which fences repair them",
+    )
     p_robust.set_defaults(func=cmd_robust)
 
     p_delays = sub.add_parser(
@@ -845,6 +954,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_fences.add_argument("test")
     add_common(p_fences)
     p_fences.add_argument("--max-fences", type=int, default=None)
+    p_fences.add_argument(
+        "--max-subsets",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the enumerative search at N fenced variants; exceeding "
+        "it returns an honest partial result",
+    )
+    p_fences.add_argument(
+        "--robust",
+        action="store_true",
+        help="synthesize for SC-robustness (behavior signature collapses "
+        "to SC) instead of forbidding the test's condition",
+    )
+    p_fences.add_argument(
+        "--static",
+        action="store_true",
+        help="compute the minimal robust fence sets statically (set "
+        "cover over delay edges — no enumeration)",
+    )
+    p_fences.add_argument(
+        "--upgrades",
+        action="store_true",
+        help="with --static, also show the cheapest table-priced mix of "
+        "fences and acquire/release upgrades",
+    )
+    p_fences.add_argument(
+        "--verify",
+        action="store_true",
+        help="run both the static and the enumerative robust synthesis "
+        "and require byte-identical minimal sets",
+    )
     p_fences.set_defaults(func=cmd_fences)
 
     p_gen = sub.add_parser(

@@ -13,8 +13,10 @@ All verdicts are deterministic: enumeration budgets are counting budgets
 (never wall-clock), and a program whose state space exceeds them is
 reported as *skipped* for that oracle, not compared partially.
 
-The :class:`OracleContext` memoizes enumerations so that the eight
-oracles cost ~six enumerations per program rather than ~fifteen.
+The :class:`OracleContext` memoizes enumerations so that the ten
+oracles cost ~six enumerations per program rather than ~twenty (the
+fence-repair oracle's fenced variants are the one extra cost, and it
+bounds itself).
 """
 
 from __future__ import annotations
@@ -312,6 +314,158 @@ def _check_speculation(ctx: OracleContext) -> list[Discrepancy]:
     ]
 
 
+def _distinct_valued(program: Program) -> bool:
+    """Whether every location's stores write literal, pairwise-distinct
+    values that also differ from the initial value, no RMW computes a
+    value, and no thread stores the same location twice.  On such
+    programs every critical-cycle reordering is *observable*, so the
+    value-blind static repair must agree with the value-aware
+    enumerative one byte-for-byte.  Programs with value coincidences
+    (a store rewriting the initial value, two equal stores) or shadowed
+    stores (a same-thread same-location store always overwrites the
+    earlier one, so cycles through the earlier store never reach final
+    memory) can have structurally-live but observationally-dead cycles,
+    where the static answer legitimately over-fences."""
+    from repro.isa.instructions import Rmw, Store
+    from repro.isa.operands import Const
+
+    stored: dict[str, set[int]] = {}
+    for thread in program.threads:
+        per_thread: set[str] = set()
+        for instruction in thread.code:
+            if isinstance(instruction, Rmw):
+                return False  # RMWs compute/compare values dynamically
+            if isinstance(instruction, Store):
+                addr = instruction.addr
+                value = instruction.value
+                if not (isinstance(addr, Const) and isinstance(addr.value, str)):
+                    return False  # register-computed address
+                if not (isinstance(value, Const) and isinstance(value.value, int)):
+                    return False  # computed or pointer value
+                if addr.value in per_thread:
+                    return False  # shadowed store
+                per_thread.add(addr.value)
+                values = stored.setdefault(addr.value, set())
+                if value.value in values:
+                    return False
+                values.add(value.value)
+    for location, values in stored.items():
+        if program.initial_memory.get(location, 0) in values:
+            return False
+    return True
+
+
+def _render_solutions(solutions) -> str:
+    return (
+        " | ".join(
+            "{" + ", ".join(str(site) for site in solution) + "}"
+            for solution in solutions
+        )
+        or "(none)"
+    )
+
+
+def _check_fence_repair(ctx: OracleContext) -> list[Discrepancy]:
+    """PR 7's theorems: the static set-cover fence repair vs the
+    enumerative robust-target synthesis.
+
+    * *Certificates* (always): a static SC-robustness certificate under
+      tso/pso/weak means the model's behavior signature (registers ×
+      realizable final memory — register outcomes alone miss store-only
+      cycles) stays within SC's.
+    * *Repair soundness* (always): inserting any static minimal fence
+      set makes the program enumeratively SC-robust — the value-blind
+      cover may over-fence but never under-fences.
+    * *Minimal sets* (distinct-valued programs): the static sets are
+      byte-identical to ``synthesize_fences(..., target="robust")``.
+      Bounded: ≤ 8 candidate sites and a 256-subset budget; over budget
+      is a deterministic skip, never a partial comparison.
+    """
+    from repro.analysis.fencesynth import behavior_signature, synthesize_fences
+    from repro.analysis.sites import insert_fences
+    from repro.analysis.static import certify_robustness, repair_fences
+
+    problems = []
+    locations = ctx.program.locations()
+
+    def signature(model_name: str) -> frozenset:
+        result = ctx.result(model_name)
+        if not result.complete:
+            raise OracleSkip(
+                f"{model_name} enumeration exhausted its budget ({result.status})"
+            )
+        return behavior_signature(result, locations)
+
+    facts = ctx.facts()
+    sc_signature = None
+    for model_name in ("tso", "pso", "weak"):
+        certificate = certify_robustness(ctx.program, model_name, facts=facts)
+        if not certificate.robust:
+            continue
+        if sc_signature is None:
+            sc_signature = signature("sc")
+        model_signature = signature(model_name)
+        if not model_signature <= sc_signature:
+            problems.append(
+                Discrepancy(
+                    "static-fence-repair",
+                    ctx.program.name,
+                    f"certified SC-robust but enumeration found "
+                    f"{len(model_signature - sc_signature)} non-SC behavior(s)",
+                    model_name,
+                )
+            )
+    if problems:
+        return problems
+
+    static = repair_fences(ctx.program, "weak", facts=facts)
+    if not (static.complete and static.exact and len(static.sites) <= 8):
+        return []  # agreement only promised on exact, small programs
+
+    if sc_signature is None:
+        sc_signature = signature("sc")
+    for solution in static.solutions[:3]:
+        fenced = insert_fences(ctx.program, solution)
+        result = enumerate_behaviors(fenced, get_model("weak"), ctx.limits)
+        if not result.complete:
+            raise OracleSkip("fenced-variant enumeration exhausted its budget")
+        if not behavior_signature(result, locations) <= sc_signature:
+            problems.append(
+                Discrepancy(
+                    "static-fence-repair",
+                    ctx.program.name,
+                    "static repair {" + ", ".join(map(str, solution)) + "} "
+                    "does not make the program SC-robust",
+                    "weak",
+                )
+            )
+    if problems or not _distinct_valued(ctx.program):
+        return problems
+
+    enumerative = synthesize_fences(
+        ctx.program, "weak", ctx.limits, target="robust", max_subsets=256
+    )
+    if not enumerative.complete:
+        raise OracleSkip(f"enumerative synthesis over budget ({enumerative.reason})")
+    if (
+        enumerative.already_forbidden != static.already_robust
+        or enumerative.solutions != static.solutions
+    ):
+        problems.append(
+            Discrepancy(
+                "static-fence-repair",
+                ctx.program.name,
+                f"minimal fence sets differ: static "
+                f"{_render_solutions(static.solutions)} "
+                f"(robust={static.already_robust}) vs enumerative "
+                f"{_render_solutions(enumerative.solutions)} "
+                f"(robust={enumerative.already_forbidden})",
+                "weak",
+            )
+        )
+    return problems
+
+
 ORACLES: tuple[Oracle, ...] = (
     Oracle("axiomatic-vs-sc",
            "axiomatic SC enumeration == interleaving machine", _check_sc),
@@ -337,6 +491,10 @@ ORACLES: tuple[Oracle, ...] = (
     Oracle("speculation-safety",
            "statically-safe speculation admits no new outcomes",
            _check_speculation),
+    Oracle("static-fence-repair",
+           "static set-cover repair == enumerative robust synthesis; "
+           "robustness certificates confirmed by enumeration",
+           _check_fence_repair),
 )
 
 _BY_NAME = {oracle.name: oracle for oracle in ORACLES}

@@ -1,0 +1,346 @@
+"""Tests for static fence repair, robustness certificates, portability.
+
+Covers the PR-7 layer end-to-end: the all-minimum-covers solver, the
+full-fence repair cross-validated against enumerative synthesis, the
+acquire/release upgrade plans, SC-robustness certificates, lattice
+portability, the store-to-load forwarding refinement (including its
+non-transitivity), the fuzz oracle, and — property-based — the
+byte-identity and subset-minimality of static repairs on
+distinct-valued programs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fencesynth import behavior_signature, synthesize_fences
+from repro.analysis.sites import FenceSite, insert_fences
+from repro.analysis.static import (
+    analyze_program,
+    apply_repairs,
+    certify_robustness,
+    check_portability,
+    repair_fences,
+    repair_upgrades,
+)
+from repro.analysis.static.fencerepair import (
+    RepairAction,
+    _all_minimum_covers,
+    _greedy_cover,
+)
+from repro.core.enumerate import enumerate_behaviors
+from repro.isa.dsl import ProgramBuilder
+from repro.litmus.library import get_test
+from repro.models.registry import get_model
+from repro.testing.oracles import _distinct_valued, run_oracles
+
+
+def build_forward_chain():
+    """S x; L x; S y against a reader — MP-shaped: the same-address
+    forwarding pair must NOT transitively order the two stores."""
+    builder = ProgramBuilder("forward-chain")
+    p0 = builder.thread("P0")
+    p0.store("x", 1)
+    p0.load("r1", "x")
+    p0.store("y", 1)
+    p1 = builder.thread("P1")
+    p1.load("r2", "y")
+    p1.load("r3", "x")
+    return builder.build()
+
+
+def sc_signature_of(program) -> frozenset:
+    return behavior_signature(
+        enumerate_behaviors(program, get_model("sc")), program.locations()
+    )
+
+
+def enumeratively_robust(program, model_name: str) -> bool:
+    signature = behavior_signature(
+        enumerate_behaviors(program, get_model(model_name)), program.locations()
+    )
+    return signature <= sc_signature_of(program)
+
+
+class TestSolver:
+    def test_empty_universe_has_the_empty_cover(self):
+        best, solutions, _nodes, complete = _all_minimum_covers(0, [], [])
+        assert (best, solutions, complete) == (0, [()], True)
+
+    def test_uncoverable_element(self):
+        best, solutions, _nodes, complete = _all_minimum_covers(
+            2, [frozenset({0})], [1]
+        )
+        assert best is None and solutions == [] and complete
+
+    def test_all_minimum_covers_found(self):
+        # elements {0,1}; candidates: {0}, {1}, {0,1} — minima are
+        # the pair {0}+{1} at cost 2 and the single {0,1} at cost 2.
+        covers = [frozenset({0}), frozenset({1}), frozenset({0, 1})]
+        best, solutions, _nodes, _ = _all_minimum_covers(2, covers, [1, 1, 2])
+        assert best == 2
+        assert solutions == [(0, 1), (2,)]
+
+    def test_weights_prefer_cheap_cover(self):
+        covers = [frozenset({0, 1}), frozenset({0}), frozenset({1})]
+        best, solutions, _nodes, _ = _all_minimum_covers(2, covers, [5, 1, 1])
+        assert best == 2
+        assert solutions == [(1, 2)]
+
+    def test_greedy_is_a_valid_cover(self):
+        covers = [frozenset({0, 1}), frozenset({1, 2}), frozenset({2, 3})]
+        chosen = _greedy_cover(4, covers, [1, 1, 1])
+        covered = set().union(*(covers[index] for index in chosen))
+        assert covered == {0, 1, 2, 3}
+
+    def test_greedy_none_when_uncoverable(self):
+        assert _greedy_cover(2, [frozenset({0})], [1]) is None
+
+
+class TestRepairFences:
+    def test_mp_weak_needs_both(self):
+        repair = repair_fences(get_test("MP").program, "weak")
+        assert repair.fence_count == 2
+        assert repair.solutions == [(FenceSite("P0", 1), FenceSite("P1", 1))]
+        assert repair.exact and repair.complete
+
+    def test_mp_pso_writer_side_only(self):
+        repair = repair_fences(get_test("MP").program, "pso")
+        assert repair.solutions == [(FenceSite("P0", 1),)]
+
+    def test_mp_tso_already_robust(self):
+        repair = repair_fences(get_test("MP").program, "tso")
+        assert repair.already_robust and repair.fence_count == 0
+
+    def test_byte_identical_to_enumeration(self):
+        for name, model in (("SB", "weak"), ("LB", "weak"), ("IRIW", "weak")):
+            program = get_test(name).program
+            static = repair_fences(program, model)
+            enum = synthesize_fences(program, model, target="robust")
+            assert enum.complete
+            assert static.already_robust == enum.already_forbidden
+            assert static.solutions == enum.solutions
+
+    def test_greedy_upper_bound_attached(self):
+        repair = repair_fences(get_test("SB").program, "weak")
+        assert repair.greedy is not None
+        assert set(repair.greedy) >= set(repair.solutions[0])
+
+
+class TestForwardingRefinement:
+    """The store-to-load forwarding (bypass-coherence) refinement: a
+    same-address S→L pair is observably ordered as a *direct* pair,
+    but must never extend a transitive chain."""
+
+    def test_direct_same_address_pair_is_dead_under_tso(self):
+        builder = ProgramBuilder("forward-direct")
+        p0 = builder.thread("P0")
+        p0.store("x", 1)
+        p0.load("r1", "x")
+        p1 = builder.thread("P1")
+        p1.store("x", 2)
+        p1.load("r2", "x")
+        program = builder.build()
+        certificate = certify_robustness(program, "tso")
+        assert certificate.robust
+        assert enumeratively_robust(program, "tso")
+
+    def test_forwarding_does_not_compose_transitively(self):
+        # Regression: S x → (forwarded) L x → (L→S always) S y must not
+        # conclude S x → S y; the MP cycle through y is live under PSO.
+        program = build_forward_chain()
+        report = analyze_program(program, "pso", bypass_coherence=True)
+        assert report.live_cycles
+        static = repair_fences(program, "pso")
+        assert not static.already_robust
+        assert static.solutions == [
+            (FenceSite("P0", 1),),
+            (FenceSite("P0", 2),),
+        ]
+        enum = synthesize_fences(program, "pso", target="robust")
+        assert enum.complete
+        assert static.solutions == enum.solutions
+
+    def test_forward_chain_robust_under_tso(self):
+        # TSO keeps S→S ordered, so the same program is robust there.
+        program = build_forward_chain()
+        assert certify_robustness(program, "tso").robust
+        assert enumeratively_robust(program, "tso")
+
+
+class TestCertificates:
+    def test_mp_weak_refuted_with_repairs(self):
+        certificate = certify_robustness(get_test("MP").program, "weak")
+        assert certificate.verdict == "not-robust"
+        assert certificate.definite
+        assert certificate.breaking_cycles
+        assert certificate.repairs == [(FenceSite("P0", 1), FenceSite("P1", 1))]
+
+    def test_robust_certificate_is_definite(self):
+        certificate = certify_robustness(get_test("MP").program, "tso")
+        assert certificate.verdict == "robust"
+        assert certificate.definite
+        assert certificate.repairs == []
+
+    def test_summary_mentions_repairs(self):
+        certificate = certify_robustness(get_test("SB").program, "weak")
+        assert "not-robust" in certificate.summary()
+        assert "P0@1" in certificate.summary()
+
+
+class TestUpgrades:
+    def test_mp_weak_release_acquire_plan(self):
+        program = get_test("MP").program
+        upgrades = repair_upgrades(program, "weak")
+        assert upgrades.best_cost == 2
+        plans = {
+            frozenset((action.kind, action.thread, action.position) for action in plan)
+            for plan in upgrades.solutions
+        }
+        assert frozenset({("release", "P0", 1), ("acquire", "P1", 0)}) in plans
+
+    def test_applied_plan_is_enumeratively_robust(self):
+        program = get_test("MP").program
+        plan = (
+            RepairAction("P0", 1, "release", 1),
+            RepairAction("P1", 0, "acquire", 1),
+        )
+        repaired = apply_repairs(program, plan)
+        assert repaired.threads[0].code[1].release
+        assert repaired.threads[1].code[0].acquire
+        signature = behavior_signature(
+            enumerate_behaviors(repaired, get_model("weak")), program.locations()
+        )
+        assert signature <= sc_signature_of(program)
+
+    def test_apply_repairs_inserts_fences(self):
+        program = get_test("MP").program
+        plan = (RepairAction("P0", 1, "fence", 1),)
+        repaired = apply_repairs(program, plan)
+        assert len(repaired.threads[0].code) == 3
+
+    def test_already_robust_plan_is_empty(self):
+        upgrades = repair_upgrades(get_test("MP").program, "tso")
+        assert upgrades.already_robust and upgrades.best_cost == 0
+
+
+class TestPortability:
+    def test_mp_tso_down_the_lattice(self):
+        report = check_portability(get_test("MP").program, verified_under="tso")
+        assert [step.target_model for step in report.steps] == ["pso", "weak"]
+        pso = report.step("pso")
+        assert pso.verdict == "not-portable" and pso.definite
+        assert pso.repairs == [(FenceSite("P0", 1),)]
+        weak = report.step("weak")
+        assert weak.repairs == [(FenceSite("P0", 1), FenceSite("P1", 1))]
+
+    def test_portable_step(self):
+        report = check_portability(get_test("MP+fences").program, verified_under="sc")
+        assert all(step.portable for step in report.steps)
+
+    def test_unknown_source_model_rejected(self):
+        try:
+            check_portability(get_test("MP").program, verified_under="weak-spec")
+        except ValueError as error:
+            assert "weak-spec" in str(error)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_step_lookup_raises_keyerror(self):
+        report = check_portability(get_test("MP").program, verified_under="weak")
+        try:
+            report.step("pso")
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("expected KeyError")
+
+
+class TestOracle:
+    def test_distinct_valued_rejects_initial_value_stores(self):
+        builder = ProgramBuilder("coincidence")
+        p0 = builder.thread("P0")
+        p0.store("x", 0)  # writes x's initial value back
+        program = builder.build()
+        assert not _distinct_valued(program)
+
+    def test_distinct_valued_rejects_duplicate_store_values(self):
+        builder = ProgramBuilder("dup")
+        p0 = builder.thread("P0")
+        p0.store("x", 1)
+        p1 = builder.thread("P1")
+        p1.store("x", 1)
+        assert not _distinct_valued(builder.build())
+
+    def test_distinct_valued_accepts_mp(self):
+        assert _distinct_valued(get_test("MP").program)
+
+    def test_oracle_clean_on_library_programs(self):
+        for name in ("MP", "SB", "2+2W"):
+            program = get_test(name).program
+            discrepancies, _skipped = run_oracles(
+                program, names=("static-fence-repair",)
+            )
+            assert discrepancies == [], discrepancies
+
+
+# -- property: static repairs work and are subset-minimal -------------
+
+
+@st.composite
+def distinct_valued_programs(draw):
+    """Random 2-thread programs whose stores all write globally unique
+    nonzero values, at most one store per location per thread — no
+    value coincidences and no shadowed stores, so the static minimal
+    sets are promised byte-identical to the enumerative ground truth
+    (the ``_distinct_valued`` oracle gate, asserted below)."""
+    builder = ProgramBuilder("distinct")
+    value = 1
+    register = 0
+    for tid in range(2):
+        thread = builder.thread(f"P{tid}")
+        stored: set[str] = set()
+        size = draw(st.integers(min_value=2, max_value=3))
+        for _ in range(size):
+            kind = draw(st.sampled_from(("store", "store", "load", "fence")))
+            location = draw(st.sampled_from(("x", "y")))
+            if kind == "store" and location not in stored:
+                stored.add(location)
+                thread.store(location, value)
+                value += 1
+            elif kind == "load" or kind == "store":
+                register += 1
+                thread.load(f"r{register}", location)
+            else:
+                thread.fence()
+    return builder.build()
+
+
+@given(distinct_valued_programs())
+@settings(max_examples=25, deadline=None)
+def test_static_repairs_work_and_are_subset_minimal(program):
+    assert _distinct_valued(program)
+    static = repair_fences(program, "weak")
+    assert static.complete and static.exact
+    enum = synthesize_fences(program, "weak", target="robust")
+    assert enum.complete
+    assert static.already_robust == enum.already_forbidden
+    assert static.solutions == enum.solutions
+
+    sc_signature = sc_signature_of(program)
+
+    def robust_with(sites) -> bool:
+        fenced = insert_fences(program, tuple(sites))
+        result = enumerate_behaviors(fenced, get_model("weak"))
+        assert result.complete
+        return behavior_signature(result, program.locations()) <= sc_signature
+
+    for solution in static.solutions[:3]:
+        assert robust_with(solution)
+        # Fences only remove behaviors, so it suffices to refute the
+        # (n-1)-subsets: if one of those worked the search would have
+        # stopped at the smaller size.
+        for drop in range(len(solution)):
+            subset = solution[:drop] + solution[drop + 1 :]
+            assert not robust_with(subset)

@@ -1,8 +1,11 @@
 """Tests for minimal fence synthesis."""
 
 
+import pytest
+
 from repro.analysis.fencesynth import (
     FenceSite,
+    behavior_signature,
     candidate_sites,
     insert_fences,
     synthesize_fences,
@@ -23,6 +26,19 @@ class TestSites:
     def test_existing_fences_excluded(self):
         sites = candidate_sites(get_test("SB+fences").program)
         assert sites == ()
+
+    def test_gaps_adjacent_to_existing_fences_skipped(self):
+        """The documented ``candidate_sites`` skip: a gap whose neighbor
+        is already a fence is never a candidate — inserting there could
+        only duplicate the existing fence's ordering, so any solution
+        using it has a same-size twin without it, and admitting both
+        would break the all-minimal-solutions byte-identity between the
+        static and enumerative searches."""
+        partially_fenced = insert_fences(
+            get_test("SB").program, (FenceSite("P0", 1),)
+        )
+        # P0 is now S x; F; L y — both of its gaps touch the fence.
+        assert candidate_sites(partially_fenced) == (FenceSite("P1", 1),)
 
     def test_insert_preserves_labels(self):
         program = get_test("dekker-nofence").program
@@ -81,3 +97,52 @@ class TestSynthesis:
         synthesis = synthesize_fences(get_test("SB"), "weak", max_fences=1)
         assert synthesis.fence_count is None
         assert synthesis.subsets_checked == 2
+        # An undersized budget is an honest partial result, not a "no
+        # solution exists" claim.
+        assert not synthesis.complete
+        assert "max_fences=1" in synthesis.reason
+        assert "[partial" in synthesis.summary()
+
+
+class TestRobustTarget:
+    def test_sb_weak_program_input(self):
+        synthesis = synthesize_fences(
+            get_test("SB").program, "weak", target="robust"
+        )
+        assert synthesis.target == "robust"
+        assert synthesis.solutions == [(FenceSite("P0", 1), FenceSite("P1", 1))]
+
+    def test_mp_tso_already_robust(self):
+        synthesis = synthesize_fences(
+            get_test("MP").program, "tso", target="robust"
+        )
+        assert synthesis.already_forbidden
+        assert synthesis.fence_count == 0
+
+    def test_condition_target_rejects_bare_program(self):
+        with pytest.raises(ValueError, match="LitmusTest"):
+            synthesize_fences(get_test("SB").program, "weak")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            synthesize_fences(get_test("SB"), "weak", target="forbid")
+
+    def test_max_subsets_budget_is_honest(self):
+        synthesis = synthesize_fences(
+            get_test("SB").program, "weak", target="robust", max_subsets=1
+        )
+        assert not synthesis.complete
+        assert "subset budget (1)" in synthesis.reason
+        assert synthesis.subsets_checked == 1
+
+    def test_store_only_cycle_needs_memory_signature(self):
+        """2+2W's non-SC outcome lives entirely in final memory —
+        register outcomes are blind to it, behavior_signature is not."""
+        program = get_test("2+2W").program
+        locations = program.locations()
+        sc = enumerate_behaviors(program, get_model("sc"))
+        weak = enumerate_behaviors(program, get_model("weak"))
+        assert weak.register_outcomes() == sc.register_outcomes()
+        sc_signature = behavior_signature(sc, locations)
+        weak_signature = behavior_signature(weak, locations)
+        assert not weak_signature <= sc_signature
