@@ -212,6 +212,13 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_parallel.json",
         help="path for the BENCH json (default: %(default)s)",
     )
+    parser.add_argument(
+        "--require-speedup-gate",
+        action="store_true",
+        help="fail (instead of recording a skip) when the workers=4 "
+        "speedup floor cannot be enforced — for CI jobs that promise "
+        "a ≥4-CPU runner, so a silently skipped gate cannot pass",
+    )
     args = parser.parse_args(argv)
 
     cpus = os.cpu_count() or 1
@@ -279,6 +286,13 @@ def main(argv: list[str] | None = None) -> int:
     status = 0
     if not all_equal:
         print("FAIL: parallel and sequential outcomes differ", file=sys.stderr)
+        status = 1
+    if args.require_speedup_gate and not enforce_speedup:
+        print(
+            f"FAIL: --require-speedup-gate but the gate was skipped "
+            f"({speedup_skip_reason})",
+            file=sys.stderr,
+        )
         status = 1
     if enforce_speedup and speedup_mean < MIN_SPEEDUP:
         print(

@@ -1,0 +1,246 @@
+"""Benchmark: SAT/AllSAT behavior solver vs axiomatic enumeration.
+
+Two gates, both enforced by exit status:
+
+* **Agreement** — over the full litmus library × several models the
+  solver's behavior set must be byte-identical (``loadstore_key``) to
+  the enumerator's, with both sides complete.
+* **Speedup** — on the *wide* program family (t threads, each storing a
+  private location then loading a shared never-written one) the
+  enumerator walks a 2^t resolution-order lattice to find a single
+  behavior while the solver pays one SAT proposal plus one O(t)
+  replay; the aggregate solver speedup on that family must clear the
+  floor below.
+
+Emits a BENCH json recording every (test, model) pair's wall-clocks,
+behavior counts, and agreement — the CI smoke job runs this with
+``--quick``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_solver.py [--quick]
+        [--out BENCH_solver.json]
+
+The ``test_*`` functions below keep the historical pytest-benchmark
+entry points (``pytest benchmarks/bench_solver.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.solver import solve_behaviors_with_stats
+from repro.core.enumerate import enumerate_behaviors
+from repro.isa.assembler import assemble_program
+from repro.isa.program import Program
+from repro.litmus.library import all_tests, get_test
+from repro.models import get_model
+
+FULL_MODELS = ("sc", "tso", "pso", "weak")
+QUICK_MODELS = ("tso", "weak")
+
+FULL_WIDTHS = (8, 10, 12)
+QUICK_WIDTHS = (8, 10)
+WIDE_MODELS = ("sc", "weak")
+
+#: Acceptance floor for the solver's aggregate speedup on the wide family.
+MIN_SPEEDUP = 5.0
+
+
+def wide_program(threads: int) -> Program:
+    """t threads × {store a private location; load a shared, never-stored
+    one}: exactly one behavior, but the enumerator's state space is the
+    full 2^t lattice of which loads have resolved."""
+    lines = [f"test wide-{threads}"]
+    for i in range(threads):
+        lines.append(f"thread P{i}")
+        lines.append(f"    S y{i}, 1")
+        lines.append(f"    r{i} = L x")
+    return assemble_program("\n".join(lines))
+
+
+def _keys(result) -> list[str]:
+    return sorted(repr(e.loadstore_key()) for e in result.executions)
+
+
+def run_benchmark(models: tuple[str, ...], widths: tuple[int, ...]) -> dict:
+    rows = []
+    mismatches: list[str] = []
+    truncated: list[str] = []
+
+    # -- agreement gate: the litmus library -----------------------------
+    for test in all_tests():
+        for model_name in models:
+            model = get_model(model_name)
+            start = time.perf_counter()
+            enumerated = enumerate_behaviors(test.program, model)
+            enum_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            solved, stats = solve_behaviors_with_stats(test.program, model_name)
+            solver_seconds = time.perf_counter() - start
+
+            complete = enumerated.complete and solved.complete
+            if not complete:
+                truncated.append(f"{test.name}/{model_name}")
+                agree = None
+            else:
+                agree = _keys(enumerated) == _keys(solved)
+                if not agree:
+                    mismatches.append(f"{test.name}/{model_name}")
+            rows.append(
+                {
+                    "test": test.name,
+                    "model": model_name,
+                    "behaviors": len(solved.executions),
+                    "proposals": stats.proposals,
+                    "infeasible": stats.infeasible,
+                    "conflicts": stats.conflicts,
+                    "seconds_enum": enum_seconds,
+                    "seconds_solver": solver_seconds,
+                    "complete": complete,
+                    "agree": agree,
+                }
+            )
+
+    # -- speedup gate: the wide family ----------------------------------
+    wide_rows = []
+    enum_total = solver_total = 0.0
+    for threads in widths:
+        program = wide_program(threads)
+        for model_name in WIDE_MODELS:
+            model = get_model(model_name)
+            start = time.perf_counter()
+            enumerated = enumerate_behaviors(program, model)
+            enum_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            solved, stats = solve_behaviors_with_stats(program, model_name)
+            solver_seconds = time.perf_counter() - start
+            enum_total += enum_seconds
+            solver_total += solver_seconds
+
+            complete = enumerated.complete and solved.complete
+            if not complete:
+                truncated.append(f"wide-{threads}/{model_name}")
+                agree = None
+            else:
+                agree = _keys(enumerated) == _keys(solved)
+                if not agree:
+                    mismatches.append(f"wide-{threads}/{model_name}")
+            wide_rows.append(
+                {
+                    "test": f"wide-{threads}",
+                    "model": model_name,
+                    "behaviors": len(solved.executions),
+                    "explored_enum": enumerated.stats.explored,
+                    "proposals": stats.proposals,
+                    "seconds_enum": enum_seconds,
+                    "seconds_solver": solver_seconds,
+                    "complete": complete,
+                    "agree": agree,
+                }
+            )
+
+    speedup = enum_total / solver_total if solver_total > 0 else float("inf")
+    return {
+        "benchmark": "solver",
+        "models": list(models),
+        "widths": list(widths),
+        "pairs": rows,
+        "wide_pairs": wide_rows,
+        "mismatches": mismatches,
+        "truncated": truncated,
+        "seconds_enum_wide_total": enum_total,
+        "seconds_solver_wide_total": solver_total,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "all_agree": not mismatches and not truncated,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"sweep {QUICK_MODELS} and widths {QUICK_WIDTHS} instead of "
+        f"{FULL_MODELS} and {FULL_WIDTHS}",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_solver.json",
+        help="path for the BENCH json (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(
+        QUICK_MODELS if args.quick else FULL_MODELS,
+        QUICK_WIDTHS if args.quick else FULL_WIDTHS,
+    )
+    result["quick"] = args.quick
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    print(
+        f"BENCH solver: {len(result['pairs'])} library pairs agree, "
+        f"wide family enum {result['seconds_enum_wide_total']:.2f}s vs "
+        f"solver {result['seconds_solver_wide_total']:.2f}s "
+        f"({result['speedup']:.1f}x)"
+    )
+    print(f"BENCH json written to {args.out}")
+
+    status = 0
+    if result["mismatches"]:
+        print(
+            f"FAIL: solver and enumerator behavior sets differ on "
+            f"{', '.join(result['mismatches'])}",
+            file=sys.stderr,
+        )
+        status = 1
+    if result["truncated"]:
+        print(
+            f"FAIL: enumeration truncated on {', '.join(result['truncated'])}",
+            file=sys.stderr,
+        )
+        status = 1
+    if result["speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: wide-family speedup {result['speedup']:.1f}x < "
+            f"{MIN_SPEEDUP:.0f}x floor",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+# -- pytest-benchmark entry points ------------------------------------
+
+
+def test_solve_sb_tso(benchmark):
+    program = get_test("SB").program
+    result = benchmark(lambda: solve_behaviors_with_stats(program, "tso")[0])
+    assert len(result.executions) == 4
+
+
+def test_solve_iriw_weak(benchmark):
+    program = get_test("IRIW").program
+    result = benchmark(lambda: solve_behaviors_with_stats(program, "weak")[0])
+    assert result.complete
+
+
+def test_solve_wide_sc(benchmark):
+    program = wide_program(10)
+    result = benchmark(lambda: solve_behaviors_with_stats(program, "sc")[0])
+    assert len(result.executions) == 1
+
+
+def test_solver_quick_gates(benchmark):
+    result = benchmark(run_benchmark, QUICK_MODELS, QUICK_WIDTHS)
+    assert result["all_agree"], (result["mismatches"], result["truncated"])
+    assert result["speedup"] >= MIN_SPEEDUP, result["speedup"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Constraint-based behavior solver (pure stdlib).
+
+A third, independent implementation path for the paper's question "what
+can this program do under this model", next to the axiomatic enumerator
+(:mod:`repro.core.enumerate`) and the operational machines
+(:mod:`repro.operational`): the reordering table, the dependency and
+fence edges, and the Store Atomicity closure are encoded as CNF over
+boolean *order* and *reads-from* variables, admissible behaviors are
+recovered by AllSAT with exact replay materialization, and *forbidden*
+outcomes are certified by assumption-based unsat cores shrunk to a
+minimal violated-axiom set.
+
+Modules:
+
+* :mod:`repro.analysis.solver.sat` — a small CDCL SAT solver
+  (two-watched-literal propagation, activity-driven decisions, first-UIP
+  clause learning, Luby restarts, incremental solving under
+  assumptions with failed-assumption cores).
+* :mod:`repro.analysis.solver.encode` — program + model → CNF.
+* :mod:`repro.analysis.solver.behaviors` — ``solve_behaviors``: AllSAT
+  over reads-from skeletons, each model materialized through the real
+  :class:`~repro.core.execution.Execution` machinery so the returned
+  behaviors compare byte-for-byte (``loadstore_key``) with
+  ``enumerate_behaviors``.
+* :mod:`repro.analysis.solver.explain` — ``explain_forbidden``: why an
+  outcome is impossible, as a minimal set of violated axioms plus a
+  cycle witness when one is determined.
+"""
+
+from repro.analysis.solver.behaviors import (
+    SolveStats,
+    solve_behaviors,
+    solve_behaviors_with_stats,
+)
+from repro.analysis.solver.encode import Encoding, encode_program
+from repro.analysis.solver.explain import ForbiddenExplanation, explain_forbidden
+from repro.analysis.solver.sat import SatSolver
+
+__all__ = [
+    "Encoding",
+    "ForbiddenExplanation",
+    "SatSolver",
+    "SolveStats",
+    "encode_program",
+    "explain_forbidden",
+    "solve_behaviors",
+    "solve_behaviors_with_stats",
+]

@@ -1,0 +1,359 @@
+"""A small CDCL SAT solver (pure stdlib).
+
+The classic architecture in ~400 lines: two-watched-literal unit
+propagation, activity-driven (VSIDS-style) decisions with phase saving,
+first-UIP conflict analysis with clause learning, Luby-sequence
+restarts, and incremental solving under *assumptions* with
+failed-assumption cores — the interface
+:mod:`repro.analysis.solver.explain` uses to extract minimal
+violated-axiom sets.
+
+Literals follow the DIMACS convention at the API boundary: variable
+``v`` (a positive int from :meth:`SatSolver.new_var`) appears as ``v``
+or ``-v``.  Internally a literal is ``2*var + sign`` with ``sign = 1``
+for negation, so negation is ``lit ^ 1``.
+
+There is no clause-database reduction or preprocessing — the encodings
+in this package stay small (thousands of variables, tens of thousands
+of clauses), and learnt clauses are simply kept.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+_UNDEF = -1
+
+
+def _luby(i: int) -> int:
+    """The i-th term (1-based) of the Luby restart sequence
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ..."""
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+class SatSolver:
+    """CDCL solver with incremental clause addition and assumptions."""
+
+    def __init__(self) -> None:
+        self._clauses: list[list[int]] = []  # internal-literal arrays
+        self._watches: list[list[int]] = []  # internal literal -> clause ids
+        self._assign: list[int] = []  # var -> _UNDEF | 0 (false) | 1 (true)
+        self._phase: list[int] = []  # var -> last assigned polarity
+        self._level: list[int] = []  # var -> decision level
+        self._reason: list[int] = []  # var -> clause id or _UNDEF
+        self._activity: list[float] = []
+        self._trail: list[int] = []  # assigned internal literals, in order
+        self._trail_lim: list[int] = []  # trail length at each decision
+        self._queue_head = 0
+        self._var_inc = 1.0
+        self._ok = True
+        self._model: list[int] = []
+        self._core: list[int] = []
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+
+    # -- variables and clauses -----------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its (positive) index."""
+        self._assign.append(_UNDEF)
+        self._phase.append(0)
+        self._level.append(0)
+        self._reason.append(_UNDEF)
+        self._activity.append(0.0)
+        self._watches.append([])
+        self._watches.append([])
+        return len(self._assign)  # 1-based externally
+
+    def _internal(self, lit: int) -> int:
+        var = abs(lit) - 1
+        if var >= len(self._assign):
+            raise ValueError(f"unknown variable {abs(lit)}")
+        return 2 * var + (1 if lit < 0 else 0)
+
+    def _value(self, ilit: int) -> int:
+        """_UNDEF, or the truth value (0/1) of an internal literal."""
+        assigned = self._assign[ilit >> 1]
+        if assigned == _UNDEF:
+            return _UNDEF
+        return assigned ^ (ilit & 1)
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause (external literals).  Returns False when the
+        formula is already unsatisfiable at the root level."""
+        if not self._ok:
+            return False
+        assert not self._trail_lim, "clauses must be added at the root level"
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            ilit = self._internal(lit)
+            if ilit ^ 1 in seen:
+                return True  # tautology
+            if ilit in seen:
+                continue
+            value = self._value(ilit)
+            if value == 1:
+                return True  # already satisfied at the root
+            if value == 0:
+                continue  # root-falsified literal drops out
+            seen.add(ilit)
+            clause.append(ilit)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            self._enqueue(clause[0], _UNDEF)
+            self._ok = self._propagate() == _UNDEF
+            return self._ok
+        cid = len(self._clauses)
+        self._clauses.append(clause)
+        self._watches[clause[0] ^ 1].append(cid)
+        self._watches[clause[1] ^ 1].append(cid)
+        return True
+
+    # -- assignment and propagation ------------------------------------
+
+    def _enqueue(self, ilit: int, reason: int) -> None:
+        var = ilit >> 1
+        self._assign[var] = 1 - (ilit & 1)
+        self._phase[var] = 1 - (ilit & 1)
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(ilit)
+
+    def _propagate(self) -> int:
+        """Exhaust unit propagation; returns a conflicting clause id or
+        ``_UNDEF``."""
+        while self._queue_head < len(self._trail):
+            ilit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.propagations += 1
+            # ``ilit`` is now true, so ``ilit ^ 1`` is the falsified
+            # literal; clauses watching it are filed under ``ilit``
+            # (watches are indexed by the watched literal's negation).
+            falsified = ilit ^ 1
+            watching = self._watches[ilit]
+            kept: list[int] = []
+            conflict = _UNDEF
+            for position, cid in enumerate(watching):
+                clause = self._clauses[cid]
+                # Normalize: the falsified literal sits at clause[1].
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    kept.append(cid)
+                    continue
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[clause[1] ^ 1].append(cid)
+                        break
+                else:
+                    kept.append(cid)
+                    if self._value(first) == 0:
+                        conflict = cid
+                        kept.extend(watching[position + 1:])
+                        break
+                    self._enqueue(first, cid)
+            self._watches[ilit] = kept
+            if conflict != _UNDEF:
+                self._queue_head = len(self._trail)
+                return conflict
+        return _UNDEF
+
+    # -- conflict analysis ---------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            inverse = 1e-100
+            for index in range(len(self._activity)):
+                self._activity[index] *= inverse
+            self._var_inc *= inverse
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """First-UIP learning: returns (learnt clause, backtrack level);
+        the asserting literal is first in the learnt clause."""
+        learnt: list[int] = [0]  # slot for the asserting literal
+        seen = [False] * len(self._assign)
+        counter = 0
+        ilit = _UNDEF
+        index = len(self._trail)
+        current_level = len(self._trail_lim)
+        reason = conflict
+        while True:
+            clause = self._clauses[reason]
+            # The whole conflict clause contributes; for reason clauses,
+            # clause[0] is the literal being resolved on and is skipped.
+            for other in (clause if ilit == _UNDEF else clause[1:]):
+                var = other >> 1
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(other)
+            while True:
+                index -= 1
+                ilit = self._trail[index]
+                if seen[ilit >> 1]:
+                    break
+            counter -= 1
+            seen[ilit >> 1] = False
+            if counter == 0:
+                break
+            reason = self._reason[ilit >> 1]
+        learnt[0] = ilit ^ 1
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backtrack to the second-highest decision level in the clause.
+        max_pos = max(range(1, len(learnt)), key=lambda k: self._level[learnt[k] >> 1])
+        learnt[1], learnt[max_pos] = learnt[max_pos], learnt[1]
+        return learnt, self._level[learnt[1] >> 1]
+
+    def _backtrack(self, target_level: int) -> None:
+        if len(self._trail_lim) <= target_level:
+            return
+        bound = self._trail_lim[target_level]
+        for ilit in reversed(self._trail[bound:]):
+            var = ilit >> 1
+            self._assign[var] = _UNDEF
+            self._reason[var] = _UNDEF
+        del self._trail[bound:]
+        del self._trail_lim[target_level:]
+        self._queue_head = len(self._trail)
+
+    def _record_learnt(self, learnt: list[int]) -> None:
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], _UNDEF)
+            return
+        cid = len(self._clauses)
+        self._clauses.append(learnt)
+        self._watches[learnt[0] ^ 1].append(cid)
+        self._watches[learnt[1] ^ 1].append(cid)
+        self._enqueue(learnt[0], cid)
+
+    # -- decisions ------------------------------------------------------
+
+    def _decide(self) -> int:
+        best = _UNDEF
+        best_activity = -1.0
+        for var, assigned in enumerate(self._assign):
+            if assigned == _UNDEF and self._activity[var] > best_activity:
+                best = var
+                best_activity = self._activity[var]
+        if best == _UNDEF:
+            return _UNDEF
+        return 2 * best + (1 - self._phase[best])
+
+    # -- assumptions and cores -----------------------------------------
+
+    def _analyze_final(self, failed: int) -> None:
+        """The failed assumption ``failed`` (internal) is falsified;
+        collect the subset of assumptions implying its negation."""
+        core = {failed}
+        seen = [False] * len(self._assign)
+        seen[failed >> 1] = True
+        for ilit in reversed(self._trail):
+            var = ilit >> 1
+            if not seen[var]:
+                continue
+            reason = self._reason[var]
+            if reason == _UNDEF:
+                if self._level[var] > 0:
+                    core.add(ilit)
+            else:
+                for other in self._clauses[reason][1:]:
+                    if self._level[other >> 1] > 0:
+                        seen[other >> 1] = True
+            seen[var] = False
+        self._core = sorted(
+            (-(ilit >> 1) - 1 if ilit & 1 else (ilit >> 1) + 1) for ilit in core
+        )
+
+    # -- main loop ------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Decide satisfiability under ``assumptions``.  On SAT the model
+        is readable via :meth:`value`; on UNSAT caused by assumptions,
+        :meth:`core` holds a (not necessarily minimal) failed subset."""
+        self._core = []
+        if not self._ok:
+            return False
+        assumed = [self._internal(lit) for lit in assumptions]
+        conflict_budget = 0
+        restart_index = 0
+        while True:
+            restart_index += 1
+            conflict_budget = 100 * _luby(restart_index)
+            result = self._search(assumed, conflict_budget)
+            if result is not None:
+                self._backtrack(0)
+                return result
+            self.restarts += 1
+            self._backtrack(0)
+
+    def _search(self, assumed: list[int], budget: int) -> bool | None:
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict != _UNDEF:
+                self.conflicts += 1
+                conflicts_here += 1
+                if not self._trail_lim:
+                    self._ok = False
+                    return False
+                learnt, back_level = self._analyze(conflict)
+                # Backjumping may undo assumption decisions; the decision
+                # loop below re-applies them in order.
+                self._backtrack(back_level)
+                self._record_learnt(learnt)
+                self._var_inc /= 0.95
+                if conflicts_here >= budget:
+                    return None
+                continue
+            if len(self._trail_lim) < len(assumed):
+                next_assumption = assumed[len(self._trail_lim)]
+                value = self._value(next_assumption)
+                if value == 0:
+                    self._analyze_final(next_assumption)
+                    return False
+                self._trail_lim.append(len(self._trail))
+                if value == _UNDEF:
+                    self._enqueue(next_assumption, _UNDEF)
+                continue
+            decision = self._decide()
+            if decision == _UNDEF:
+                self._model = list(self._assign)
+                return True
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, _UNDEF)
+
+    # -- results ---------------------------------------------------------
+
+    def value(self, lit: int) -> bool:
+        """Truth value of an external literal in the last SAT model."""
+        var = abs(lit) - 1
+        assigned = self._model[var]
+        if assigned == _UNDEF:
+            assigned = 0  # unconstrained variables default to false
+        return bool(assigned) if lit > 0 else not bool(assigned)
+
+    def core(self) -> list[int]:
+        """External literals: the failed assumptions of the last UNSAT
+        :meth:`solve` call (empty when UNSAT without assumptions)."""
+        return list(self._core)
+
+
+__all__ = ["SatSolver"]

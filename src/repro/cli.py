@@ -524,14 +524,50 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
+    test = _load_test(args.test)
+    if args.forbidden:
+        from repro.analysis.solver import explain_forbidden
+
+        solved = explain_forbidden(test, args.model[0], _limits(args))
+        print(solved.render())
+        return 0 if solved.forbidden else 1
     from repro.analysis.explain import explain_trace, trace_from_litmus
 
-    test = _load_test(args.test)
     trace = trace_from_litmus(test)
     explanation = explain_trace(trace, args.model[0])
     print(f"{test.name}: {test.condition}")
     print(explanation.render())
     return 0 if explanation.forbidden else 1
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    from repro.analysis.solver.behaviors import solve_behaviors_with_stats
+
+    limits = _limits(args)
+    names = test_names() if args.library else [args.test]
+    exit_code = 0
+    for name in names:
+        test = _load_test(name)
+        for model_name in args.model:
+            solved, stats = solve_behaviors_with_stats(test.program, model_name, limits)
+            line = (
+                f"{test.name:<16} {model_name:<10} "
+                f"behaviors={stats.behaviors:<5} proposals={stats.proposals:<6} "
+                f"infeasible={stats.infeasible:<5} conflicts={stats.conflicts:<6} "
+                f"[{solved.status}]"
+            )
+            if args.check:
+                reference = enumerate_behaviors(
+                    test.program, get_model(model_name), limits
+                )
+                agree = solved.complete == reference.complete and sorted(
+                    repr(e.loadstore_key()) for e in solved.executions
+                ) == sorted(repr(e.loadstore_key()) for e in reference.executions)
+                line += "  agree=yes" if agree else "  agree=NO"
+                if not agree:
+                    exit_code = 1
+            print(line)
+    return exit_code
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -1005,8 +1041,31 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="explain WHY a test's condition is (un)observable"
     )
     p_explain.add_argument("test")
+    p_explain.add_argument(
+        "--forbidden",
+        action="store_true",
+        help="certify the outcome with the constraint solver: a minimal "
+        "violated-axiom unsat core plus a forced-ordering cycle witness",
+    )
     add_common(p_explain)
     p_explain.set_defaults(func=cmd_explain)
+
+    p_solve = sub.add_parser(
+        "solve",
+        help="enumerate behaviors with the SAT/AllSAT constraint solver",
+    )
+    p_solve.add_argument("test", nargs="?", help="library test name or litmus file")
+    p_solve.add_argument(
+        "--library", action="store_true", help="solve every library test"
+    )
+    p_solve.add_argument(
+        "--check",
+        action="store_true",
+        help="cross-validate against the axiomatic enumerator "
+        "(loadstore_key byte-identical); exits nonzero on disagreement",
+    )
+    add_common(p_solve)
+    p_solve.set_defaults(func=cmd_solve)
 
     p_fig = sub.add_parser(
         "figures", help="write every paper figure as a Graphviz .dot file"

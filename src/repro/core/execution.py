@@ -469,14 +469,17 @@ class Execution:
         return True
 
     def local_earlier_stores(self, load: Node, address: Value) -> list[Node]:
-        """Program-earlier same-thread stores to ``address`` (for bypass)."""
+        """Program-earlier same-thread *visible* stores to ``address``
+        (for bypass).  Visibility matters: a failed CAS never enters the
+        store buffer, so it neither shadows older buffered stores nor
+        needs to drain before the load reads memory."""
         state = self.threads[load.tid]
         result = []
         for nid in state.nodes:
             other = self.graph.node(nid)
             if other.index >= load.index:
                 break
-            if other.writes_memory and other.addr == address:
+            if other.is_visible_store and other.addr == address:
                 result.append(other)
         return result
 

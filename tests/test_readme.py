@@ -64,6 +64,15 @@ def test_docs_exist_and_mention_key_apis():
     assert "MP" in tutorial
 
 
+def test_testing_md_oracle_table_matches_registry():
+    # the oracle table in docs/testing.md is generated from the ORACLES
+    # registry — a stale table fails here, not in a reader's hands
+    from repro.testing.oracles import oracle_table
+
+    testing = (README.parent / "docs" / "testing.md").read_text(encoding="utf-8")
+    assert oracle_table() in testing
+
+
 def test_experiments_md_is_current_and_passing():
     experiments = (README.parent / "EXPERIMENTS.md").read_text(encoding="utf-8")
     assert "ALL EXPERIMENTS PASS" in experiments
