@@ -1,0 +1,271 @@
+"""Append-only segment files: the cache's durable layer.
+
+The store is LSM-flavored: every writer appends records to its own
+immutable-once-sealed segment file (``seg-*.log``), readers scan the
+union of all segments, and compaction folds them into one.  Because a
+segment is only ever appended to by the process that created it
+(creation is ``O_CREAT | O_EXCL``), concurrent workers sharing a cache
+directory never interleave writes inside a file — they interleave whole
+files, which is always safe.
+
+Record layout (all integers big-endian)::
+
+    key[16]  type[1]  gen[8]  length[4]  header_crc[4]
+    payload[length]  payload_crc[8]
+
+``gen`` is a wall-clock nanosecond stamp giving records a global
+newest-wins order across segments (ties broken by file name, then
+offset).  Both CRCs are truncated ``blake2b`` digests; the payload CRC
+covers the header too, so a payload spliced between records is caught.
+
+Damage tolerance mirrors the service WAL:
+
+* a **torn tail** — the header or payload is cut short by a crash
+  mid-append — is silently discarded (the entry was never acknowledged);
+* a complete record whose **checksum flips** is skipped with a
+  :class:`~repro.errors.CacheIntegrityWarning`, and scanning stops at
+  the first unparseable header (framing after it cannot be trusted);
+* an unrecognized file header skips the whole segment with a warning
+  (a future format, or garbage) — every case degrades to cache misses,
+  never to wrong results or a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import time
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import CacheError, CacheIntegrityWarning
+
+SEGMENT_SUFFIX = ".log"
+_SEGMENT_MAGIC = b"RSEG"
+_SEGMENT_VERSION = 1
+_FILE_HEADER = struct.Struct("!4sB")
+
+KEY_SIZE = 16
+VALUE = 1  #: record carries a pickled enumeration payload
+TOMBSTONE = 2  #: record marks the key as deleted (until a newer VALUE)
+
+_REC_HEADER = struct.Struct(f"!{KEY_SIZE}sBQI")
+_HEADER_CRC_SIZE = 4
+_PAYLOAD_CRC_SIZE = 8
+
+
+def _header_crc(header: bytes) -> bytes:
+    return hashlib.blake2b(header, digest_size=_HEADER_CRC_SIZE).digest()
+
+
+def _payload_crc(header: bytes, payload: bytes) -> bytes:
+    return hashlib.blake2b(header + payload, digest_size=_PAYLOAD_CRC_SIZE).digest()
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One record's location, as discovered by :func:`scan_segment`.
+
+    The payload is *not* read during a scan — only sought over — so
+    building an index touches a few dozen bytes per record.  ``order``
+    is the global newest-wins sort key.
+    """
+
+    key: bytes
+    rtype: int
+    gen: int
+    path: Path
+    payload_offset: int
+    payload_length: int
+
+    @property
+    def order(self) -> tuple:
+        return (self.gen, self.path.name, self.payload_offset)
+
+
+def encode_record(key: bytes, rtype: int, payload: bytes, gen: int | None = None) -> bytes:
+    """The framed bytes of one record (append-ready)."""
+    if len(key) != KEY_SIZE:
+        raise CacheError(f"cache keys are {KEY_SIZE} bytes, got {len(key)}")
+    if gen is None:
+        gen = time.time_ns()
+    header = _REC_HEADER.pack(key, rtype, gen, len(payload))
+    return header + _header_crc(header) + payload + _payload_crc(header, payload)
+
+
+def file_header() -> bytes:
+    return _FILE_HEADER.pack(_SEGMENT_MAGIC, _SEGMENT_VERSION)
+
+
+def list_segments(directory: Path) -> list[Path]:
+    """Every segment in the cache directory, in name order (scan order
+    only — newest-wins uses record generations, not file order)."""
+    try:
+        return sorted(directory.glob(f"seg-*{SEGMENT_SUFFIX}"))
+    except OSError:
+        return []
+
+
+def create_segment(directory: Path) -> Path:
+    """A fresh, uniquely named segment file with its header written.
+
+    ``O_CREAT | O_EXCL`` guarantees two processes can never share one
+    segment, which is the whole concurrency story of the durable layer.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    for _ in range(16):
+        name = f"seg-{os.urandom(8).hex()}{SEGMENT_SUFFIX}"
+        path = directory / name
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(file_header())
+            handle.flush()
+        return path
+    raise CacheError(f"cannot create a unique segment under {directory}")
+
+
+def scan_segment(path: Path) -> list[SegmentRecord]:
+    """Locate every intact record in one segment (payloads unverified —
+    :func:`read_payload` checks them on access).  See the module
+    docstring for the damage policy."""
+    records: list[SegmentRecord] = []
+    try:
+        handle = open(path, "rb")
+    except OSError as exc:
+        warnings.warn(
+            CacheIntegrityWarning(f"cannot open cache segment {path.name}: {exc}"),
+            stacklevel=2,
+        )
+        return records
+    with handle:
+        head = handle.read(_FILE_HEADER.size)
+        if len(head) < _FILE_HEADER.size:
+            return records  # empty/torn header: a crash before first append
+        magic, version = _FILE_HEADER.unpack(head)
+        if magic != _SEGMENT_MAGIC or version != _SEGMENT_VERSION:
+            warnings.warn(
+                CacheIntegrityWarning(
+                    f"cache segment {path.name} has an unrecognized header "
+                    f"(magic={magic!r}, version={version}); skipping it"
+                ),
+                stacklevel=2,
+            )
+            return records
+        size = os.fstat(handle.fileno()).st_size
+        offset = _FILE_HEADER.size
+        while True:
+            header = handle.read(_REC_HEADER.size + _HEADER_CRC_SIZE)
+            if len(header) < _REC_HEADER.size + _HEADER_CRC_SIZE:
+                break  # clean end, or a torn tail: both fine
+            raw_header, crc = header[: _REC_HEADER.size], header[_REC_HEADER.size :]
+            if _header_crc(raw_header) != crc:
+                warnings.warn(
+                    CacheIntegrityWarning(
+                        f"cache segment {path.name} has a corrupt record header "
+                        f"at offset {offset}; discarding the rest of the segment"
+                    ),
+                    stacklevel=2,
+                )
+                break
+            key, rtype, gen, length = _REC_HEADER.unpack(raw_header)
+            payload_offset = offset + len(header)
+            record_end = payload_offset + length + _PAYLOAD_CRC_SIZE
+            if record_end > size:
+                break  # torn tail mid-payload: the append never finished
+            records.append(
+                SegmentRecord(
+                    key=key,
+                    rtype=rtype,
+                    gen=gen,
+                    path=path,
+                    payload_offset=payload_offset,
+                    payload_length=length,
+                )
+            )
+            handle.seek(record_end)
+            offset = record_end
+    return records
+
+
+def read_payload(record: SegmentRecord) -> bytes | None:
+    """The checksum-verified payload of a record, or ``None`` (with a
+    warning) when the bytes on disk no longer match — the caller treats
+    that as a miss."""
+    try:
+        with open(record.path, "rb") as handle:
+            handle.seek(record.payload_offset - _REC_HEADER.size - _HEADER_CRC_SIZE)
+            raw_header = handle.read(_REC_HEADER.size)
+            handle.seek(record.payload_offset)
+            payload = handle.read(record.payload_length)
+            crc = handle.read(_PAYLOAD_CRC_SIZE)
+    except OSError as exc:
+        warnings.warn(
+            CacheIntegrityWarning(
+                f"cannot read cache record from {record.path.name}: {exc}"
+            ),
+            stacklevel=2,
+        )
+        return None
+    if len(payload) != record.payload_length or len(crc) != _PAYLOAD_CRC_SIZE:
+        return None  # segment shrank underneath us (compaction race)
+    if _payload_crc(raw_header, payload) != crc:
+        warnings.warn(
+            CacheIntegrityWarning(
+                f"cache record {record.key.hex()} in {record.path.name} failed "
+                f"its checksum; treating it as a miss"
+            ),
+            stacklevel=2,
+        )
+        return None
+    return payload
+
+
+class SegmentWriter:
+    """This process's private append handle.
+
+    The segment file is created lazily on the first append, so read-only
+    cache users never litter the directory.  Appends are flushed to the
+    OS immediately (a dying *process* loses nothing already ``put``);
+    ``fsync=True`` additionally survives a dying *machine*, at a large
+    per-put cost — future hits are an optimization, not a durability
+    contract, so it defaults off.
+    """
+
+    def __init__(self, directory: Path, fsync: bool = False) -> None:
+        self.directory = directory
+        self.fsync = fsync
+        self.path: Path | None = None
+        self._handle = None
+
+    def append(self, key: bytes, rtype: int, payload: bytes, gen: int | None = None) -> SegmentRecord:
+        if self._handle is None:
+            self.path = create_segment(self.directory)
+            self._handle = open(self.path, "ab")
+        framed = encode_record(key, rtype, payload, gen)
+        offset = self._handle.tell()
+        try:
+            self._handle.write(framed)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise CacheError(f"cache append to {self.path} failed: {exc}") from exc
+        header_span = _REC_HEADER.size + _HEADER_CRC_SIZE
+        gen_written = _REC_HEADER.unpack(framed[: _REC_HEADER.size])[2]
+        return SegmentRecord(
+            key=key,
+            rtype=rtype,
+            gen=gen_written,
+            path=self.path,
+            payload_offset=offset + header_span,
+            payload_length=len(payload),
+        )
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()

@@ -78,6 +78,16 @@ def _limits(args: argparse.Namespace) -> EnumerationLimits:
 
 
 
+def _cache(args: argparse.Namespace):
+    """The shared :class:`BehaviorCache` for ``--cache-dir``, or None."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir:
+        return None
+    from repro.cache import BehaviorCache
+
+    return BehaviorCache.shared(cache_dir)
+
+
 def _strict(args: argparse.Namespace) -> bool:
     return bool(getattr(args, "strict", False))
 
@@ -90,13 +100,19 @@ def _parallel(args: argparse.Namespace) -> ParallelEnumerationConfig | None:
 def _enumerate_pair(task: tuple) -> tuple:
     """Process-pool work unit for ``enumerate --library``: one (test,
     model) cell, returned as a rendered summary row."""
-    name, model_name, limits, workers = task
+    name, model_name, limits, workers, cache_dir = task
     test = get_test(name)
     parallel = ParallelEnumerationConfig(workers=workers) if workers else None
+    cache = None
+    if cache_dir:
+        from repro.cache import BehaviorCache
+
+        cache = BehaviorCache.shared(cache_dir)
     result = enumerate_behaviors(
-        test.program, get_model(model_name), limits, parallel=parallel
+        test.program, get_model(model_name), limits, parallel=parallel, cache=cache
     )
-    return (name, model_name, len(result), result.stats.explored, result.status)
+    status = result.status + (" cached" if result.cached else "")
+    return (name, model_name, len(result), result.stats.explored, status)
 
 
 def _analyze_pair(task: tuple) -> str:
@@ -299,7 +315,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_enumerate(args: argparse.Namespace) -> int:
     if args.library:
         tasks = [
-            (test.name, model_name, _limits(args), args.workers)
+            (test.name, model_name, _limits(args), args.workers, args.cache_dir)
             for test in all_tests()
             for model_name in args.model
         ]
@@ -337,12 +353,14 @@ def cmd_enumerate(args: argparse.Namespace) -> int:
             _limits(args),
             strict=_strict(args),
             parallel=_parallel(args),
+            cache=_cache(args),
         )
     print(
         f"{name} under {model_name}: {len(result)} distinct executions "
         f"(explored {result.stats.explored} behaviors, "
         f"{result.stats.duplicates} duplicates discarded, "
-        f"{result.stats.rolled_back} rolled back) [{result.status}]"
+        f"{result.stats.rolled_back} rolled back) "
+        f"[{result.status}{' cached' if result.cached else ''}]"
     )
     if not result.complete and args.checkpoint:
         result.checkpoint.save(args.checkpoint)
@@ -660,6 +678,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"{len(kills) - bad}/{len(kills)} mutants killed cleanly")
         return 1 if bad else 0
 
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
     report = run_campaign(
         seed=args.seed,
         budget=args.budget,
@@ -667,6 +686,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         do_shrink=not args.no_shrink,
         corpus_dir=corpus_dir,
+        cache_dir=cache_dir,
     )
     print(report.summary())
     return 0 if report.clean else 1
@@ -689,11 +709,56 @@ def cmd_serve(args: argparse.Namespace) -> int:
         slice_behaviors=args.slice,
         slice_delay=args.slice_delay,
         fsync=not args.no_fsync,
+        cache_dir=args.cache_dir,
     )
     try:
         asyncio.run(run_server(config))
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.cache import BehaviorCache
+
+    directory = Path(args.dir)
+    if not directory.exists():
+        raise ReproError(f"no cache directory {directory}")
+    cache = BehaviorCache(directory)
+
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache {stats['directory']}")
+        print(f"  segments          : {stats['segments']}")
+        print(f"  disk bytes        : {stats['disk_bytes']}")
+        print(f"  records           : {stats['records']}")
+        print(f"  live entries      : {stats['live_entries']}")
+        print(f"  tombstoned        : {stats['tombstoned']}")
+        print(f"  redundant records : {stats['redundant_records']}")
+        print(f"  bloom FPR estimate: {stats['bloom_fpr_estimate']:.2e}")
+        return 0
+
+    if args.action == "verify":
+        report = cache.verify(full=args.full)
+        mode = "re-enumerated" if args.full else "decode-checked"
+        print(
+            f"verified {report['checked']} entries ({mode}): "
+            f"{report['ok']} ok, {len(report['bad'])} bad"
+        )
+        for keyhex in report["bad"]:
+            print(f"  BAD {keyhex}")
+        return 1 if report["bad"] else 0
+
+    report = cache.compact()
+    cache.close()
+    print(
+        f"compacted {report['segments_before']} segments "
+        f"({report['records_before']} records, {report['bytes_before']} bytes) "
+        f"-> 1 segment ({report['live_entries']} live entries, "
+        f"{report['bytes_after']} bytes)"
+    )
     return 0
 
 
@@ -930,6 +995,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the automatic pre-enumeration lint",
     )
+    p_enum.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="memoize enumerations in a persistent behavior cache under DIR "
+        "(repeat runs become near-free hits; see docs/api.md)",
+    )
     p_enum.set_defaults(func=cmd_enumerate)
 
     p_matrix = sub.add_parser("matrix", help="run the litmus × model matrix")
@@ -1154,6 +1226,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--list-mutants", action="store_true", help="list seeded mutants and exit"
     )
+    p_fuzz.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="share a persistent behavior cache across oracles and "
+        "campaigns (ignored by --mutants, which must re-enumerate)",
+    )
     p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_serve = sub.add_parser(
@@ -1202,7 +1281,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fsync", action="store_true",
         help="skip fsync on WAL appends (faster, weaker durability)",
     )
+    p_serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="behavior cache shared by the submit fast path and the "
+        "workers (cached submissions complete instantly)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain a behavior-cache directory"
+    )
+    p_cache.add_argument(
+        "action",
+        choices=("stats", "verify", "compact"),
+        help="stats: store accounting; verify: decode-check every entry "
+        "(--full also re-enumerates); compact: fold segments, drop "
+        "tombstoned/duplicate records",
+    )
+    p_cache.add_argument("dir", metavar="DIR", help="cache directory")
+    p_cache.add_argument(
+        "--full",
+        action="store_true",
+        help="with verify: re-enumerate every entry and compare "
+        "loadstore-key sets (slow)",
+    )
+    p_cache.set_defaults(func=cmd_cache)
 
     p_submit = sub.add_parser(
         "submit", help="submit an enumeration job to a running server"

@@ -19,6 +19,7 @@ from repro.core.node import INIT_TID, Node
 from repro.core.serialization import (
     all_serializations,
     always_before_pairs,
+    behavior_cache_key,
     find_serialization,
     is_serializable,
     require_serializable,
@@ -48,6 +49,7 @@ __all__ = [
     "Node",
     "all_serializations",
     "always_before_pairs",
+    "behavior_cache_key",
     "find_serialization",
     "is_serializable",
     "require_serializable",

@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import (
     AtomicityViolation,
+    CacheError,
     CycleError,
     EnumerationError,
     StuckBehaviorWarning,
@@ -57,6 +58,7 @@ from repro.models.base import MemoryModel
 
 if TYPE_CHECKING:
     from repro.analysis.static.dataflow import StaticFacts
+    from repro.cache.store import BehaviorCache
 
 
 class ExhaustionReason(enum.Enum):
@@ -246,6 +248,7 @@ class EnumerationResult:
     complete: bool = True
     reason: ExhaustionReason | None = None
     checkpoint: EnumerationCheckpoint | None = None
+    cached: bool = False  #: replayed from a :class:`BehaviorCache` hit
 
     def register_outcomes(self) -> frozenset[frozenset]:
         """The set of final-register outcomes over all executions.  Each
@@ -357,6 +360,7 @@ def enumerate_behaviors(
     facts: "StaticFacts | None" = None,
     dedup_exact: bool = False,
     parallel: "ParallelEnumerationConfig | None" = None,
+    cache: "BehaviorCache | None" = None,
 ) -> EnumerationResult:
     """Enumerate all distinct executions of ``program`` under ``model``.
 
@@ -387,14 +391,40 @@ def enumerate_behaviors(
     and the driver merges the completed Load–Store graphs — the final
     execution set and outcomes are identical to the sequential engine's,
     regardless of worker count.
+
+    ``cache`` memoizes the call in a persistent
+    :class:`~repro.cache.store.BehaviorCache`: the request's canonical
+    :func:`~repro.core.serialization.behavior_cache_key` is looked up
+    first (a hit returns instantly with ``result.cached = True``), and a
+    fresh result is stored afterwards — but only when **complete**, so a
+    budget-truncated search can never be replayed as the full behavior
+    set.  A cache opened with ``validate=True`` re-enumerates every hit
+    and asserts byte-identical ``loadstore_key`` sets, raising
+    :class:`~repro.errors.CacheError` on disagreement.
     """
     limits = limits or EnumerationLimits()
+
+    cache_key: bytes | None = None
+    if cache is not None:
+        cache_key = cache.key_for(program, model, limits)
+        entry = cache.lookup(cache_key)
+        if entry is not None:
+            if cache.validate:
+                _validate_cache_hit(cache, cache_key, entry, program, model, limits)
+            return EnumerationResult(
+                program=program,
+                model=model,
+                executions=list(entry.executions),
+                stats=replace(entry.stats),
+                complete=True,
+                cached=True,
+            )
 
     initial = Execution.initial(program, model, limits.max_nodes_per_thread, facts)
     worklist: list[Execution] = [initial]
     seen_states: set = {_dedup_key(initial, dedup_exact)}
     if parallel is not None:
-        return _parallel_search(
+        result = _parallel_search(
             program,
             model,
             limits,
@@ -408,19 +438,42 @@ def enumerate_behaviors(
             dedup_exact=dedup_exact,
             config=parallel,
         )
-    return _search(
-        program,
-        model,
-        limits,
-        dedup,
-        strict,
-        token,
-        worklist,
-        seen_states,
-        finished={},
-        stats=EnumerationStats(),
-        dedup_exact=dedup_exact,
-    )
+    else:
+        result = _search(
+            program,
+            model,
+            limits,
+            dedup,
+            strict,
+            token,
+            worklist,
+            seen_states,
+            finished={},
+            stats=EnumerationStats(),
+            dedup_exact=dedup_exact,
+        )
+    if cache is not None and cache_key is not None and result.complete:
+        cache.store(
+            cache_key, program, model, limits, result.executions, result.stats
+        )
+    return result
+
+
+def _validate_cache_hit(cache, key, entry, program, model, limits) -> None:
+    """The ``validate=True`` audit: re-run the search and require the hit
+    to reproduce it byte-for-byte (by canonical ``loadstore_key``)."""
+    fresh = enumerate_behaviors(program, model, limits)
+    fresh_keys = sorted(repr(e.loadstore_key()) for e in fresh.executions)
+    cached_keys = sorted(repr(e.loadstore_key()) for e in entry.executions)
+    cache.counters.validations += 1
+    if not fresh.complete or fresh_keys != cached_keys:
+        cache.invalidate(key)
+        raise CacheError(
+            f"validated cache hit {key.hex()} disagrees with a fresh "
+            f"enumeration of {program.name!r} under {model.name} "
+            f"({len(cached_keys)} cached vs {len(fresh_keys)} fresh "
+            f"executions); the entry has been invalidated"
+        )
 
 
 def resume_enumeration(

@@ -28,11 +28,14 @@ validation, matching the grey edges' exemption from ``⊑``.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Iterator
 
 from repro.errors import SerializationError
 from repro.core.execution import Execution
 from repro.core.node import Node
+from repro.isa.disassembler import disassemble
 
 
 def _memory_nodes(execution: Execution) -> list[Node]:
@@ -161,3 +164,73 @@ def always_before_pairs(execution: Execution) -> frozenset[tuple[int, int]]:
             if all(order.index(u) < order.index(v) for order in orders):
                 pairs.add((u, v))
     return frozenset(pairs)
+
+
+# ----------------------------------------------------------------------
+# the canonical behavior-cache digest
+
+#: Bump when the canonical form below changes: a key from another format
+#: version must never collide with this one's, so the version is hashed in.
+BEHAVIOR_CACHE_KEY_VERSION = 1
+
+_LIMIT_FIELDS = (
+    "max_behaviors",
+    "max_executions",
+    "max_nodes_per_thread",
+    "deadline_seconds",
+    "max_memory_mb",
+)
+
+
+def behavior_cache_key(program, model, limits=None, *, digest_size: int = 16) -> bytes:
+    """The canonical digest identifying one enumeration request.
+
+    Behaviors are a pure function of ``(program, model, limits)``, so
+    this digest is a complete content address for an enumeration result
+    — the key the :class:`~repro.cache.store.BehaviorCache` memo store
+    is organized around.  Stability contract:
+
+    * **program** hashes as its canonical disassembly
+      (:func:`~repro.isa.disassembler.disassemble`: sorted initial
+      memory, normalized operand spelling), so the same program
+      assembled twice — or round-tripped through text — keys
+      identically, while any instruction change rekeys.  The program
+      *name* is included: cached executions carry their program object,
+      and a rename must re-enumerate rather than replay an execution
+      whose embedded name disagrees.
+    * **model** hashes as its name plus full semantic content (every
+      reordering-table entry, the bypass and speculation flags), so a
+      redefined model never replays stale behaviors from under an old
+      definition.
+    * **limits** hashes every budget field — a limit change can change
+      which prefix of the space a *partial* search sees, and even for
+      complete results "same request" is defined as same budgets.
+      ``None`` normalizes to the default
+      :class:`~repro.core.enumerate.EnumerationLimits` — exactly what
+      :func:`~repro.core.enumerate.enumerate_behaviors` runs with, so
+      the two spellings of the same request share one key.
+
+    The digest is deterministic across processes and platforms (the
+    canonical form is sorted JSON; no ``PYTHONHASHSEED`` dependence).
+    """
+    if limits is None:
+        from repro.core.enumerate import EnumerationLimits
+
+        limits = EnumerationLimits()
+    limits_fields = [getattr(limits, name) for name in _LIMIT_FIELDS]
+    payload = {
+        "version": BEHAVIOR_CACHE_KEY_VERSION,
+        "program": disassemble(program),
+        "model": {
+            "name": model.name,
+            "store_load_bypass": bool(model.store_load_bypass),
+            "speculative_aliasing": bool(model.speculative_aliasing),
+            "table": sorted(
+                (first.value, second.value, int(requirement))
+                for (first, second), requirement in model.table.entries.items()
+            ),
+        },
+        "limits": limits_fields,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=digest_size).digest()

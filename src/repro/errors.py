@@ -111,6 +111,21 @@ class WALError(ServiceError):
     not an error; replay drops it."""
 
 
+class CacheIntegrityWarning(RuntimeWarning):
+    """The behavior cache skipped damaged on-disk data — a torn segment
+    tail, a record with a flipped checksum, an undecodable payload, or a
+    stale bloom sidecar.  The affected entries degrade to cache misses;
+    the store stays usable."""
+
+
+class CacheError(ReproError):
+    """The behavior cache's on-disk store is unusable (a hard-corrupt
+    index, an unwritable directory) or a validated cache hit disagreed
+    with a fresh enumeration.  Recoverable damage — a torn segment tail,
+    a flipped record checksum — is *not* an error: the store degrades
+    those records to misses (with a warning) instead of raising."""
+
+
 class ConditionError(ReproError):
     """A litmus-test condition expression is malformed or references an
     unknown thread or register."""

@@ -46,15 +46,17 @@ def run_litmus(
     model: MemoryModel | str,
     limits: EnumerationLimits | None = None,
     strict: bool = False,
+    cache=None,
 ) -> LitmusVerdict:
     """Enumerate the test's behaviors under ``model`` and judge the condition.
 
     With a budget-limited enumeration the verdict is judged over the
     partial behavior set and flagged ``complete=False``; ``strict=True``
-    raises instead of degrading."""
+    raises instead of degrading.  ``cache`` (a
+    :class:`~repro.cache.store.BehaviorCache`) memoizes the enumeration."""
     if isinstance(model, str):
         model = get_model(model)
-    result = enumerate_behaviors(test.program, model, limits, strict=strict)
+    result = enumerate_behaviors(test.program, model, limits, strict=strict, cache=cache)
 
     locations = test.condition.locations()
     total_pairs = 0
@@ -84,12 +86,13 @@ def run_matrix(
     model_names: tuple[str, ...],
     limits: EnumerationLimits | None = None,
     strict: bool = False,
+    cache=None,
 ) -> list[LitmusVerdict]:
     """Run every test under every model (the TAB-LITMUS experiment)."""
     verdicts = []
     for test in tests:
         for name in model_names:
-            verdicts.append(run_litmus(test, name, limits, strict=strict))
+            verdicts.append(run_litmus(test, name, limits, strict=strict, cache=cache))
     return verdicts
 
 

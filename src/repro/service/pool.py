@@ -37,6 +37,7 @@ from typing import Callable
 from repro.core.enumerate import (
     CancellationToken,
     EnumerationCheckpoint,
+    EnumerationResult,
     ExhaustionReason,
     enumerate_behaviors,
     resume_enumeration,
@@ -62,6 +63,12 @@ def _run_slice(payload: dict) -> dict:
     slice_budget = payload["slice_budget"]
     slice_deadline = payload.get("slice_deadline")
     token = payload.get("token")
+    cache_dir = payload.get("cache_dir")
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import BehaviorCache
+
+        cache = BehaviorCache.shared(cache_dir)
 
     checkpoint = None
     if checkpoint_path.exists():
@@ -71,6 +78,29 @@ def _run_slice(payload: dict) -> dict:
             # Unreadable/foreign-version checkpoint: degrade by starting
             # the enumeration over rather than failing the job.
             checkpoint = None
+
+    # Cache consultation happens on the first slice only (a checkpoint
+    # means partial work this key has never finished); the key is the
+    # *job's* full limits — slices are an implementation detail that the
+    # resume semantics make behavior-invisible.
+    if checkpoint is None and cache is not None:
+        program = assemble(source).program
+        entry = cache.lookup(cache.key_for(program, model, limits))
+        if entry is not None:
+            replayed = EnumerationResult(
+                program=entry.program,
+                model=entry.model,
+                executions=list(entry.executions),
+                stats=entry.stats,
+                complete=True,
+                cached=True,
+            )
+            return {
+                "status": "done",
+                "explored": entry.stats.explored,
+                "result": canonical_result(replayed),
+                "cached": True,
+            }
 
     explored_base = checkpoint.stats.explored if checkpoint is not None else 0
     slice_cap = min(limits.max_behaviors, explored_base + slice_budget)
@@ -85,6 +115,16 @@ def _run_slice(payload: dict) -> dict:
 
     explored = result.stats.explored
     if result.complete:
+        if cache is not None:
+            cache.store(
+                cache.key_for(result.program, model, limits),
+                result.program,
+                model,
+                limits,
+                result.executions,
+                result.stats,
+            )
+            cache.flush()
         return {
             "status": "done",
             "explored": explored,
@@ -137,12 +177,14 @@ class WorkerPool:
         retries: int = 1,
         slice_delay: float = 0.0,
         clock: Callable[[], float] | None = None,
+        cache_dir: str | Path | None = None,
     ) -> None:
         self.workers = workers
         self.slice_behaviors = max(1, slice_behaviors)
         self.retries = retries
         self.slice_delay = slice_delay
         self.clock = clock or time.monotonic
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self._lock = threading.Lock()
         self._executor: ProcessPoolExecutor | None = None
 
@@ -226,6 +268,7 @@ class WorkerPool:
                 "slice_budget": self.slice_behaviors,
                 "slice_deadline": slice_deadline,
                 "token": token,
+                "cache_dir": self.cache_dir,
             }
             try:
                 outcome = self._submit_slice(payload)

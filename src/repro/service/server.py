@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.core.enumerate import CancellationToken
+from repro.core.enumerate import CancellationToken, EnumerationResult
 from repro.errors import ReproError, ServiceError, WALError
 from repro.isa.assembler import assemble
 from repro.models.registry import available_models, get_model
@@ -46,6 +46,7 @@ from repro.service.jobs import (
     TERMINAL_STATES,
     JobState,
     JobStore,
+    canonical_result,
     job_key,
     limits_from_dict,
 )
@@ -75,6 +76,9 @@ class ServiceConfig:
     completed_retention: int = 1000  #: terminal jobs kept queryable
     queue_retry_after: float = 1.0  #: Retry-After when the queue is full
     fsync: bool = True  #: durability vs. test speed
+    #: behavior-cache directory; a submission whose (program, model,
+    #: limits) is already cached completes instantly, skipping the pool
+    cache_dir: str | Path | None = None
     clock: Callable[[], float] = field(default=time.monotonic)
 
 
@@ -121,7 +125,13 @@ class JobServer:
             retries=self.config.retries,
             slice_delay=self.config.slice_delay,
             clock=self.config.clock,
+            cache_dir=self.config.cache_dir,
         )
+        self.cache = None
+        if self.config.cache_dir is not None:
+            from repro.cache import BehaviorCache
+
+            self.cache = BehaviorCache.shared(self.config.cache_dir)
         self.limiter = RateLimiter(
             capacity=self.config.rate_capacity,
             refill_rate=self.config.rate_refill,
@@ -414,7 +424,7 @@ class JobServer:
         ):
             raise _HTTPError(400, "'deadline_seconds' must be a positive number")
         try:
-            limits_from_dict(limits)
+            enum_limits = limits_from_dict(limits)
             program = assemble(source).program
         except ServiceError as exc:
             raise _HTTPError(400, str(exc)) from None
@@ -426,6 +436,42 @@ class JobServer:
         existing = self.store.get(key)
         if existing is not None:
             return 200, {}, existing.view()
+
+        # 3b. behavior-cache fast path — a previously enumerated
+        # (program, model, limits) completes instantly: the job is still
+        # WAL-durable (submitted, then transitioned terminal) but never
+        # queues, so it consumes no backpressure budget and no worker.
+        if self.cache is not None:
+            entry = self.cache.lookup(
+                self.cache.key_for(program, get_model(model), enum_limits)
+            )
+            if entry is not None:
+                replayed = EnumerationResult(
+                    program=entry.program,
+                    model=entry.model,
+                    executions=list(entry.executions),
+                    stats=entry.stats,
+                    complete=True,
+                    cached=True,
+                )
+                try:
+                    job = self.store.submit(
+                        account, source, model, limits, deadline, program.name
+                    )
+                    self.store.transition(
+                        job.id, JobState.RUNNING, attempts=1
+                    )
+                    self.store.transition(
+                        job.id,
+                        JobState.COMPLETED,
+                        result=canonical_result(replayed),
+                        explored=entry.stats.explored,
+                    )
+                except WALError as exc:
+                    raise _HTTPError(
+                        503, f"cannot persist submission: {exc}"
+                    ) from None
+                return 201, {}, self.store.get(job.id).view()
 
         # 4. backpressure — bounded queue, never unbounded memory.
         if self.backlog >= self.config.queue_limit:

@@ -64,10 +64,21 @@ class ProgramVerdict:
 
 def fuzz_one(item: tuple) -> ProgramVerdict:
     """Picklable campaign work unit: ``(index, seed, profile_name,
-    oracle_names | None)`` → :class:`ProgramVerdict`."""
-    index, seed, profile_name, oracle_names = item
+    oracle_names | None[, cache_dir | None])`` → :class:`ProgramVerdict`."""
+    index, seed, profile_name, oracle_names, *rest = item
+    cache_dir = rest[0] if rest else None
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import BehaviorCache
+
+        # One shared instance per worker process: each opens its own
+        # append segment (concurrent-writer safe) and flushes sidecars
+        # at exit, so enumeration budget accumulates across campaigns.
+        cache = BehaviorCache.shared(cache_dir)
     program = generate_program(seed, get_profile(profile_name))
-    discrepancies, skipped = run_oracles(program, names=oracle_names, limits=FUZZ_LIMITS)
+    discrepancies, skipped = run_oracles(
+        program, names=oracle_names, limits=FUZZ_LIMITS, cache=cache
+    )
     return ProgramVerdict(
         index=index,
         seed=seed,
@@ -125,14 +136,18 @@ class CampaignReport:
 
 
 def campaign_items(
-    seed: int, budget: int, profile: str = MIXED, oracle_names: tuple[str, ...] | None = None
+    seed: int,
+    budget: int,
+    profile: str = MIXED,
+    oracle_names: tuple[str, ...] | None = None,
+    cache_dir: Path | None = None,
 ) -> list[tuple]:
     """The deterministic work list for a campaign (chunking-independent)."""
     items = []
     for index in range(budget):
         resolved = profile_for_index(profile, index)
         derived = (seed * 1_000_003 + index) & 0x7FFFFFFF
-        items.append((index, derived, resolved.name, oracle_names))
+        items.append((index, derived, resolved.name, oracle_names, cache_dir))
     return items
 
 
@@ -144,11 +159,18 @@ def run_campaign(
     oracle_names: tuple[str, ...] | None = None,
     do_shrink: bool = True,
     corpus_dir: Path | None = None,
+    cache_dir: Path | None = None,
 ) -> CampaignReport:
-    """Fuzz ``budget`` programs; shrink and bank any counterexample."""
+    """Fuzz ``budget`` programs; shrink and bank any counterexample.
+
+    ``cache_dir`` opens a shared :class:`~repro.cache.store.BehaviorCache`
+    in every worker, so baseline enumerations are paid once across
+    oracles, repeat programs, and successive campaigns.  Verdicts are
+    identical with and without it.
+    """
     if profile != MIXED:
         get_profile(profile)  # validate the name before spawning workers
-    items = campaign_items(seed, budget, profile, oracle_names)
+    items = campaign_items(seed, budget, profile, oracle_names, cache_dir)
     if jobs > 1:
         verdicts = list(parallel_map(fuzz_one, items, jobs=jobs))
     else:
@@ -244,7 +266,12 @@ def hunt_mutant(
     do_shrink: bool = True,
     corpus_dir: Path | None = None,
 ) -> MutantKill:
-    """Fuzz under ``mutant`` until an oracle fires, then shrink and bank."""
+    """Fuzz under ``mutant`` until an oracle fires, then shrink and bank.
+
+    Deliberately cache-free: the mutant is a monkeypatched engine bug,
+    invisible to the cache key, so a warm cache would replay healthy
+    pre-mutant behaviors and mask the kill.
+    """
     items = campaign_items(seed, budget, profile, KILL_ORACLES)
     detection = None
     programs_run = 0

@@ -67,6 +67,13 @@ class OracleContext:
 
     program: Program
     limits: EnumerationLimits = FUZZ_LIMITS
+    #: optional :class:`~repro.cache.store.BehaviorCache` shared across
+    #: oracles, programs and campaigns.  Only the plain sequential
+    #: enumeration goes through it: the parallel- and pruned-engine
+    #: variants exist to *cross-check* those engines, and serving them
+    #: from a memo store would quietly turn the N-way comparison into
+    #: cached-result == cached-result.
+    cache: object = None
     _results: dict = field(default_factory=dict)
     _facts: object = None
 
@@ -79,12 +86,14 @@ class OracleContext:
             if pruned:
                 facts = self.facts()
             config = ParallelEnumerationConfig(workers=2) if parallel else None
+            cache = self.cache if not parallel and not pruned else None
             self._results[key] = enumerate_behaviors(
                 self.program,
                 get_model(model_name),
                 self.limits,
                 facts=facts,
                 parallel=config,
+                cache=cache,
             )
         return self._results[key]
 
@@ -587,15 +596,18 @@ def run_oracles(
     program: Program,
     names: tuple[str, ...] | None = None,
     limits: EnumerationLimits = FUZZ_LIMITS,
+    cache=None,
 ) -> tuple[list[Discrepancy], list[str]]:
     """Run every applicable oracle on ``program``.
 
     Returns ``(discrepancies, skipped)`` where ``skipped`` names oracles
     that declined to compare (inapplicable or over budget) — skips are
-    deterministic for a given program and budget.
+    deterministic for a given program and budget.  ``cache`` memoizes
+    the baseline (sequential, unpruned) enumerations across oracles and
+    across runs; verdicts are identical with and without it.
     """
     selected = ORACLES if names is None else tuple(get_oracle(n) for n in names)
-    ctx = OracleContext(program, limits)
+    ctx = OracleContext(program, limits, cache=cache)
     discrepancies: list[Discrepancy] = []
     skipped: list[str] = []
     for oracle in selected:

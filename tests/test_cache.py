@@ -1,0 +1,675 @@
+"""Tests for the persistent behavior cache: the canonical cache key,
+the bloom filter, the segment store, corruption tolerance (mirroring the
+checkpoint suite), crash-safety under ``kill -9``, the
+``enumerate_behaviors(cache=...)`` integration with its safety knobs,
+cache-on vs cache-off oracle equivalence, and the CLI surface."""
+
+import os
+import signal
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.cache import BehaviorCache, BloomFilter
+from repro.cache.segments import (
+    SegmentWriter,
+    TOMBSTONE,
+    VALUE,
+    create_segment,
+    list_segments,
+    read_payload,
+    scan_segment,
+)
+from repro.core.enumerate import EnumerationLimits, enumerate_behaviors
+from repro.core.serialization import behavior_cache_key
+from repro.errors import CacheError, CacheIntegrityWarning
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.litmus.library import all_tests, get_test
+from repro.models.registry import get_model
+
+SB_SOURCE = """
+test SB
+init x=0 y=0
+
+thread P0
+    S x, 1
+    r1 = L y
+
+thread P1
+    S y, 1
+    r2 = L x
+"""
+
+
+def loadstore_keys(executions) -> list:
+    return sorted(repr(e.loadstore_key()) for e in executions)
+
+
+# ----------------------------------------------------------------------
+# the canonical cache key
+
+
+class TestBehaviorCacheKey:
+    def test_deterministic_and_sized(self):
+        test = get_test("SB")
+        model = get_model("tso")
+        key = behavior_cache_key(test.program, model)
+        assert isinstance(key, bytes) and len(key) == 16
+        assert key == behavior_cache_key(test.program, model)
+
+    def test_same_source_assembled_twice_keys_identically(self):
+        first = assemble(SB_SOURCE).program
+        second = assemble(SB_SOURCE).program
+        assert first is not second
+        model = get_model("weak")
+        assert behavior_cache_key(first, model) == behavior_cache_key(second, model)
+
+    def test_disassembly_round_trip_keys_identically(self):
+        test = get_test("MP+fences")
+        model = get_model("weak")
+        round_tripped = assemble(disassemble(test.program)).program
+        assert behavior_cache_key(test.program, model) == behavior_cache_key(
+            round_tripped, model
+        )
+
+    def test_any_instruction_change_rekeys(self):
+        base = assemble(SB_SOURCE).program
+        changed = assemble(SB_SOURCE.replace("S y, 1", "S y, 2")).program
+        model = get_model("weak")
+        assert behavior_cache_key(base, model) != behavior_cache_key(changed, model)
+
+    def test_model_changes_rekey(self):
+        program = get_test("SB").program
+        keys = {
+            behavior_cache_key(program, get_model(name))
+            for name in ("sc", "tso", "pso", "weak", "weak-spec", "weak-corr")
+        }
+        assert len(keys) == 6
+
+    def test_every_limit_field_rekeys(self):
+        program = get_test("SB").program
+        model = get_model("weak")
+        base = EnumerationLimits()
+        variants = [
+            EnumerationLimits(max_behaviors=base.max_behaviors - 1),
+            EnumerationLimits(max_executions=base.max_executions - 1),
+            EnumerationLimits(max_nodes_per_thread=base.max_nodes_per_thread - 1),
+            EnumerationLimits(deadline_seconds=5.0),
+            EnumerationLimits(max_memory_mb=64.0),
+        ]
+        keys = {behavior_cache_key(program, model, limits) for limits in variants}
+        keys.add(behavior_cache_key(program, model, base))
+        assert len(keys) == len(variants) + 1
+        # None spells the same request as the defaults, so same key.
+        assert behavior_cache_key(program, model, None) == behavior_cache_key(
+            program, model, base
+        )
+
+    def test_cross_process_stability(self):
+        """The digest must not depend on process state (hash seeds,
+        dict order): a fresh interpreter derives the same key."""
+        test = get_test("SB")
+        model = get_model("tso")
+        local = behavior_cache_key(test.program, model).hex()
+        script = (
+            "from repro.core.serialization import behavior_cache_key\n"
+            "from repro.litmus.library import get_test\n"
+            "from repro.models.registry import get_model\n"
+            "print(behavior_cache_key(get_test('SB').program, get_model('tso')).hex())\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONHASHSEED"] = "12345"  # force a different hash seed
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert result.stdout.strip() == local
+
+
+# ----------------------------------------------------------------------
+# the bloom filter
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.sized_for(500)
+        keys = [os.urandom(16) for _ in range(500)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_under_one_percent(self):
+        bloom = BloomFilter.sized_for(1000)
+        for _ in range(1000):
+            bloom.add(os.urandom(16))
+        novel = [os.urandom(16) for _ in range(20_000)]
+        measured = sum(1 for key in novel if key in bloom) / len(novel)
+        assert measured < 0.01
+        assert bloom.estimated_fpr() < 0.01
+        assert not bloom.saturated
+
+    def test_encode_decode_round_trip(self):
+        bloom = BloomFilter.sized_for(64)
+        keys = [os.urandom(16) for _ in range(64)]
+        for key in keys:
+            bloom.add(key)
+        decoded = BloomFilter.decode(bloom.encode())
+        assert decoded is not None
+        assert decoded.bits == bloom.bits and decoded.hashes == bloom.hashes
+        assert all(key in decoded for key in keys)
+
+    def test_damaged_encoding_decodes_to_none(self):
+        encoded = bytearray(BloomFilter.sized_for(64).encode())
+        assert BloomFilter.decode(bytes(encoded[:-1])) is None  # truncated
+        encoded[len(encoded) // 2] ^= 0xFF
+        assert BloomFilter.decode(bytes(encoded)) is None  # flipped bit
+        assert BloomFilter.decode(b"") is None
+
+
+# ----------------------------------------------------------------------
+# segments: framing and damage policy
+
+
+class TestSegments:
+    def write_records(self, directory, items):
+        writer = SegmentWriter(Path(directory))
+        records = [writer.append(key, VALUE, payload) for key, payload in items]
+        writer.close()
+        return records
+
+    def test_append_scan_read_round_trip(self, tmp_path):
+        items = [(os.urandom(16), f"payload-{i}".encode()) for i in range(5)]
+        self.write_records(tmp_path, items)
+        [segment] = list_segments(tmp_path)
+        scanned = scan_segment(segment)
+        assert [(r.key, r.rtype) for r in scanned] == [
+            (key, VALUE) for key, _ in items
+        ]
+        assert [read_payload(r) for r in scanned] == [p for _, p in items]
+
+    def test_truncated_tail_is_tolerated_silently(self, tmp_path):
+        items = [(os.urandom(16), b"x" * 100), (os.urandom(16), b"y" * 100)]
+        self.write_records(tmp_path, items)
+        [segment] = list_segments(tmp_path)
+        size = segment.stat().st_size
+        with open(segment, "r+b") as handle:
+            handle.truncate(size - 50)  # cut into the second record
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a torn tail must not warn
+            scanned = scan_segment(segment)
+        assert [r.key for r in scanned] == [items[0][0]]
+        assert read_payload(scanned[0]) == items[0][1]
+
+    def test_flipped_payload_byte_is_skipped_with_warning(self, tmp_path):
+        items = [(os.urandom(16), b"a" * 64), (os.urandom(16), b"b" * 64)]
+        records = self.write_records(tmp_path, items)
+        with open(records[0].path, "r+b") as handle:
+            handle.seek(records[0].payload_offset + 10)
+            handle.write(b"\xff")
+        with pytest.warns(CacheIntegrityWarning, match="failed its checksum"):
+            assert read_payload(records[0]) is None
+        assert read_payload(records[1]) == items[1][1]  # neighbors unharmed
+
+    def test_flipped_header_byte_stops_scan_with_warning(self, tmp_path):
+        items = [(os.urandom(16), b"a" * 32), (os.urandom(16), b"b" * 32)]
+        records = self.write_records(tmp_path, items)
+        header_offset = records[1].payload_offset - 29  # inside record 2's header
+        with open(records[1].path, "r+b") as handle:
+            handle.seek(header_offset)
+            original = handle.read(1)
+            handle.seek(header_offset)
+            handle.write(bytes([original[0] ^ 0xFF]))
+        with pytest.warns(CacheIntegrityWarning, match="corrupt record header"):
+            scanned = scan_segment(records[0].path)
+        assert [r.key for r in scanned] == [items[0][0]]
+
+    def test_unrecognized_file_header_skips_segment(self, tmp_path):
+        path = create_segment(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.write(b"JUNK")
+        with pytest.warns(CacheIntegrityWarning, match="unrecognized header"):
+            assert scan_segment(path) == []
+
+    def test_concurrent_writers_use_distinct_segments(self, tmp_path):
+        a, b = SegmentWriter(tmp_path), SegmentWriter(tmp_path)
+        key_a, key_b = os.urandom(16), os.urandom(16)
+        # interleave appends from two live writers
+        a.append(key_a, VALUE, b"from-a-1")
+        b.append(key_b, VALUE, b"from-b-1")
+        a.append(key_a, TOMBSTONE, b"")
+        b.append(key_b, VALUE, b"from-b-2")
+        a.close(), b.close()
+        segments = list_segments(tmp_path)
+        assert len(segments) == 2  # one private segment per writer
+        records = [r for s in segments for r in scan_segment(s)]
+        assert sorted(r.rtype for r in records) == [VALUE, VALUE, VALUE, TOMBSTONE]
+
+
+# ----------------------------------------------------------------------
+# the BehaviorCache store
+
+
+def populate(cache, names=("SB", "MP"), model_name="weak"):
+    keys = {}
+    model = get_model(model_name)
+    for name in names:
+        test = get_test(name)
+        enumerate_behaviors(test.program, model, cache=cache)
+        keys[name] = behavior_cache_key(test.program, model, None)
+    return keys
+
+
+class TestBehaviorCacheStore:
+    def test_round_trip_across_instances(self, tmp_path):
+        cache = BehaviorCache(tmp_path)
+        test = get_test("SB")
+        model = get_model("weak")
+        cold = enumerate_behaviors(test.program, model, cache=cache)
+        cache.close()
+
+        warm_cache = BehaviorCache(tmp_path)
+        warm = enumerate_behaviors(test.program, model, cache=warm_cache)
+        assert warm.cached and warm.complete
+        assert loadstore_keys(warm.executions) == loadstore_keys(cold.executions)
+        assert warm.register_outcomes() == cold.register_outcomes()
+        assert warm_cache.counters.hits == 1
+
+    def test_bloom_negative_answers_without_index(self, tmp_path):
+        cache = BehaviorCache(tmp_path)
+        populate(cache)
+        cache.close()
+
+        fresh = BehaviorCache(tmp_path)
+        assert fresh.lookup(os.urandom(16)) is None
+        assert fresh.counters.bloom_negatives == 1
+        assert fresh._index is None  # the index was never built
+
+    def test_incomplete_results_are_never_cached(self, tmp_path):
+        cache = BehaviorCache(tmp_path)
+        test = get_test("IRIW")
+        model = get_model("weak")
+        limits = EnumerationLimits(max_behaviors=5)
+        partial = enumerate_behaviors(test.program, model, limits, cache=cache)
+        assert not partial.complete
+        assert cache.counters.puts == 0
+        again = enumerate_behaviors(test.program, model, limits, cache=cache)
+        assert not again.cached
+
+    def test_duplicate_puts_are_skipped(self, tmp_path):
+        cache = BehaviorCache(tmp_path)
+        test = get_test("SB")
+        model = get_model("weak")
+        enumerate_behaviors(test.program, model, cache=cache)
+        result = enumerate_behaviors(test.program, model, cache=cache)
+        assert result.cached
+        assert cache.counters.puts == 1 and cache.counters.duplicate_puts == 0
+        # force a re-store attempt under the same key
+        key = behavior_cache_key(test.program, model, None)
+        stored = cache.store(
+            key, test.program, model, None, result.executions, result.stats
+        )
+        assert stored is False and cache.counters.duplicate_puts == 1
+
+    def test_invalidate_tombstones_the_key(self, tmp_path):
+        cache = BehaviorCache(tmp_path)
+        keys = populate(cache)
+        cache.invalidate(keys["SB"])
+        cache.close()
+        fresh = BehaviorCache(tmp_path)
+        assert fresh.lookup(keys["SB"]) is None
+        assert fresh.lookup(keys["MP"]) is not None
+
+    def test_validate_knob_accepts_honest_hits(self, tmp_path):
+        cache = BehaviorCache(tmp_path)
+        populate(cache)
+        cache.close()
+        validating = BehaviorCache(tmp_path, validate=True)
+        test = get_test("SB")
+        result = enumerate_behaviors(test.program, get_model("weak"), cache=validating)
+        assert result.cached
+        assert validating.counters.validations == 1
+
+    def test_validate_knob_rejects_tampered_entries(self, tmp_path):
+        cache = BehaviorCache(tmp_path)
+        test = get_test("SB")
+        model = get_model("weak")
+        result = enumerate_behaviors(test.program, model, cache=cache)
+        # Store a *subset* of the executions under the honest key: the
+        # payload decodes and key-verifies, so only validate catches it.
+        key = behavior_cache_key(test.program, model, None)
+        cache.invalidate(key)
+        cache.store(key, test.program, model, None, result.executions[:1], result.stats)
+        cache.close()
+
+        validating = BehaviorCache(tmp_path, validate=True)
+        with pytest.raises(CacheError, match="disagrees with a fresh enumeration"):
+            enumerate_behaviors(test.program, model, cache=validating)
+        # ...and the bad entry was invalidated in the process.
+        assert validating.counters.invalidations == 1
+
+    def test_verify_full_reenumerates(self, tmp_path):
+        cache = BehaviorCache(tmp_path)
+        populate(cache)
+        report = cache.verify(full=True)
+        assert report["checked"] == 2 and report["ok"] == 2 and not report["bad"]
+
+    def test_compact_folds_segments_and_preserves_hits(self, tmp_path):
+        keys = {}
+        for names in (("SB", "MP"), ("LB",), ("CoWW",)):  # 3 writers' segments
+            cache = BehaviorCache(tmp_path)
+            keys.update(populate(cache, names))
+            cache.close()
+        extra = BehaviorCache(tmp_path)
+        extra.invalidate(keys["LB"])
+        report = extra.compact()
+        assert report["segments_before"] >= 3
+        assert report["live_entries"] == 3  # LB tombstoned away
+        assert len(list_segments(Path(tmp_path))) == 1
+        assert extra.lookup(keys["SB"]) is not None
+        assert extra.lookup(keys["CoWW"]) is not None
+        assert extra.lookup(keys["LB"]) is None
+        extra.close()
+
+    def test_stats_shape(self, tmp_path):
+        cache = BehaviorCache(tmp_path)
+        populate(cache)
+        stats = cache.stats()
+        assert stats["live_entries"] == 2
+        assert stats["segments"] == 1
+        assert stats["counters"]["puts"] == 2
+        assert 0 <= stats["bloom_fpr_estimate"] < 0.01
+
+
+# ----------------------------------------------------------------------
+# store-level corruption (mirroring the checkpoint suite)
+
+
+class TestCacheCorruption:
+    def test_flipped_record_checksum_degrades_to_miss(self, tmp_path):
+        cache = BehaviorCache(tmp_path)
+        keys = populate(cache)
+        cache.close()
+        [segment] = list_segments(Path(tmp_path))
+        records = scan_segment(segment)
+        target = next(r for r in records if r.key == keys["SB"])
+        with open(segment, "r+b") as handle:
+            handle.seek(target.payload_offset + 5)
+            handle.write(b"\xff\xff")
+
+        fresh = BehaviorCache(tmp_path)
+        with pytest.warns(CacheIntegrityWarning, match="failed its checksum"):
+            assert fresh.lookup(keys["SB"]) is None
+        assert fresh.counters.decode_failures == 1
+        assert fresh.lookup(keys["MP"]) is not None  # the rest still hits
+        # ...and the enumeration path transparently re-enumerates:
+        with pytest.warns(CacheIntegrityWarning):
+            result = enumerate_behaviors(
+                get_test("SB").program, get_model("weak"), cache=fresh
+            )
+        assert not result.cached and result.complete
+
+    def test_hard_corrupt_index_is_rejected_with_clear_error(self, tmp_path):
+        cache = BehaviorCache(tmp_path)
+        keys = populate(cache)
+        cache.stats()  # builds the index, so close() persists it
+        cache.close()
+        index_path = Path(tmp_path) / "index.json"
+        assert index_path.exists()
+        index_path.write_text('{"format": 1, "segments"', encoding="utf-8")
+
+        fresh = BehaviorCache(tmp_path)
+        with pytest.raises(CacheError, match="delete it to rebuild"):
+            fresh.lookup(keys["SB"])
+
+        # A checksum-mismatched (vs unparseable) index is equally hard-rejected.
+        index_path.write_text(
+            '{"format": 1, "segments": {}, "crc": "0000000000000000"}',
+            encoding="utf-8",
+        )
+        with pytest.raises(CacheError, match="failed its checksum"):
+            BehaviorCache(tmp_path).lookup(keys["SB"])
+
+        # Deleting the index rebuilds from segments, as the error says.
+        index_path.unlink()
+        recovered = BehaviorCache(tmp_path)
+        assert recovered.lookup(keys["SB"]) is not None
+
+    def test_corrupt_bloom_sidecar_rebuilds_with_warning(self, tmp_path):
+        cache = BehaviorCache(tmp_path)
+        keys = populate(cache)
+        cache.flush()
+        cache.close()
+        bloom_path = Path(tmp_path) / "bloom.json"
+        assert bloom_path.exists()
+        bloom_path.write_text("not json at all", encoding="utf-8")
+
+        fresh = BehaviorCache(tmp_path)
+        with pytest.warns(CacheIntegrityWarning, match="rebuilding"):
+            entry = fresh.lookup(keys["SB"])
+        assert entry is not None  # no false negatives from the rebuild
+
+    def test_stale_bloom_sidecar_scans_appended_tail(self, tmp_path):
+        """A sidecar written before further appends must not produce
+        false negatives for the newer records."""
+        cache = BehaviorCache(tmp_path)
+        populate(cache, ("SB",))
+        cache.flush()
+        cache.close()
+        # Append MP *after* the sidecar snapshot, through a second cache.
+        late = BehaviorCache(tmp_path)
+        keys = populate(late, ("MP",))
+        late.close()  # flushes its own sidecar, but now corrupt it back:
+        fresh = BehaviorCache(tmp_path)
+        assert fresh.lookup(keys["MP"]) is not None
+
+    def test_concurrent_caches_share_one_directory(self, tmp_path):
+        a, b = BehaviorCache(tmp_path), BehaviorCache(tmp_path)
+        model = get_model("weak")
+        sb, mp = get_test("SB"), get_test("MP")
+        enumerate_behaviors(sb.program, model, cache=a)
+        enumerate_behaviors(mp.program, model, cache=b)
+        a.close(), b.close()
+
+        reader = BehaviorCache(tmp_path)
+        assert enumerate_behaviors(sb.program, model, cache=reader).cached
+        assert enumerate_behaviors(mp.program, model, cache=reader).cached
+
+
+# ----------------------------------------------------------------------
+# kill -9 crash-safety (acceptance criterion)
+
+
+KILLER_SCRIPT = """
+import sys
+from repro.cache import BehaviorCache
+from repro.core.enumerate import enumerate_behaviors
+from repro.litmus.library import all_tests
+from repro.models.registry import get_model
+
+cache = BehaviorCache(sys.argv[1])
+model = get_model("weak")
+for test in all_tests():
+    enumerate_behaviors(test.program, model, cache=cache)
+    print(test.name, flush=True)
+"""
+
+
+class TestKillNineSafety:
+    def test_sigkill_mid_write_never_corrupts_the_store(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        process = subprocess.Popen(
+            [sys.executable, "-c", KILLER_SCRIPT, str(cache_dir)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        survived = []
+        for line in process.stdout:
+            survived.append(line.strip())
+            if len(survived) >= 3:
+                break
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+        process.stdout.close()
+        assert len(survived) >= 3
+
+        # Restart: the store opens, every surviving acknowledged entry
+        # still hits, and a possible torn tail degraded silently.
+        cache = BehaviorCache(cache_dir)
+        model = get_model("weak")
+        hits = 0
+        for name in survived:
+            result = enumerate_behaviors(get_test(name).program, model, cache=cache)
+            assert result.complete
+            hits += 1 if result.cached else 0
+        assert hits == len(survived)
+        report = cache.verify()
+        assert not report["bad"]
+        # ...and the store still accepts writes afterwards.
+        populate(cache, ("CoRR",))
+        cache.close()
+
+
+# ----------------------------------------------------------------------
+# cache-on vs cache-off oracle equivalence
+
+
+class TestOracleEquivalence:
+    def test_fuzz_verdicts_identical_with_and_without_cache(self, tmp_path):
+        from repro.testing.fuzz import campaign_items, fuzz_one
+
+        baseline = [fuzz_one(item) for item in campaign_items(3, 6)]
+        cached_cold = [
+            fuzz_one(item) for item in campaign_items(3, 6, cache_dir=tmp_path)
+        ]
+        cached_warm = [
+            fuzz_one(item) for item in campaign_items(3, 6, cache_dir=tmp_path)
+        ]
+        for off, cold, warm in zip(baseline, cached_cold, cached_warm):
+            assert off.discrepancies == cold.discrepancies == warm.discrepancies
+            assert off.skipped == cold.skipped == warm.skipped
+        shared = BehaviorCache.shared(tmp_path)
+        assert shared.counters.hits > 0  # the warm pass actually hit
+
+    def test_oracle_context_keeps_engine_variants_uncached(self, tmp_path):
+        """The parallel/pruned enumerations exist to cross-check those
+        engines; they must bypass the memo store."""
+        from repro.testing.oracles import OracleContext
+
+        cache = BehaviorCache(tmp_path)
+        program = get_test("SB").program
+        ctx = OracleContext(program, cache=cache)
+        ctx.result("weak")
+        ctx.result("weak", pruned=True)
+        assert cache.counters.puts == 1  # only the baseline was stored
+        ctx2 = OracleContext(program, cache=cache)
+        assert ctx2.result("weak").cached
+        assert not ctx2.result("weak", pruned=True).cached
+        assert cache.counters.puts == 1
+
+
+# ----------------------------------------------------------------------
+# service integration: the cache-hit fast path
+
+
+class TestServiceFastPath:
+    def test_worker_slice_hits_skip_enumeration(self, tmp_path):
+        from repro.service.pool import WorkerPool
+
+        pool = WorkerPool(workers=0, cache_dir=tmp_path / "cache")
+        first = pool.run_job(SB_SOURCE, "weak", {}, None, tmp_path / "a.ckpt")
+        assert first.status == "completed"
+        second = pool.run_job(SB_SOURCE, "weak", {}, None, tmp_path / "b.ckpt")
+        assert second.status == "completed"
+        assert second.result == first.result
+        shared = BehaviorCache.shared(tmp_path / "cache")
+        assert shared.counters.hits >= 1
+
+    def test_submit_fast_path_completes_instantly(self, tmp_path):
+        from repro.service.client import ServiceClient
+        from tests.test_service import ServerThread
+
+        cache_dir = tmp_path / "cache"
+        # Warm the cache out of band, exactly as a prior server run would.
+        warm = BehaviorCache(cache_dir)
+        enumerate_behaviors(
+            assemble(SB_SOURCE).program, get_model("weak"), cache=warm
+        )
+        warm.flush()
+
+        with ServerThread(wal_dir=tmp_path / "wal", cache_dir=cache_dir) as fixture:
+            client = ServiceClient(fixture.url)
+            job = client.submit(SB_SOURCE, model="weak")
+            # No polling: the submission response is already terminal.
+            assert job["state"] == "completed"
+            assert job["result"]["executions"] == 4
+            direct = enumerate_behaviors(
+                assemble(SB_SOURCE).program, get_model("weak")
+            )
+            from repro.service.jobs import canonical_result
+
+            assert job["result"] == canonical_result(direct)
+
+
+# ----------------------------------------------------------------------
+# the CLI surface
+
+
+class TestCacheCLI:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_enumerate_and_cache_commands(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert self.run_cli("enumerate", "SB", "--cache-dir", cache_dir) == 0
+        assert self.run_cli("enumerate", "SB", "--cache-dir", cache_dir) == 0
+        capsys.readouterr()
+
+        assert self.run_cli("cache", "stats", cache_dir) == 0
+        out = capsys.readouterr().out
+        assert "live entries      : 1" in out
+
+        assert self.run_cli("cache", "verify", cache_dir) == 0
+        assert "1 ok, 0 bad" in capsys.readouterr().out
+
+        assert self.run_cli("cache", "verify", cache_dir, "--full") == 0
+        capsys.readouterr()
+
+        assert self.run_cli("cache", "compact", cache_dir) == 0
+        assert "compacted" in capsys.readouterr().out
+
+        # post-compaction the entry still hits
+        assert self.run_cli("enumerate", "SB", "--cache-dir", cache_dir) == 0
+
+    def test_cache_command_requires_existing_dir(self, tmp_path, capsys):
+        assert self.run_cli("cache", "stats", str(tmp_path / "missing")) == 2
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_library_sweep_warm_hits(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "enumerate",
+            "--library",
+            "--model",
+            "sc",
+            "--cache-dir",
+            cache_dir,
+        ]
+        assert self.run_cli(*args) == 0
+        capsys.readouterr()
+        assert self.run_cli(*args) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines() if line.strip()]
+        assert rows and all("cached" in line for line in rows)
