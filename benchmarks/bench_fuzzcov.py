@@ -1,0 +1,216 @@
+"""Benchmark: coverage-guided fuzzing vs the blind stream, plus
+crash-resume exactness.
+
+Two gates on :mod:`repro.testing.coverage` (the PR's acceptance
+criteria), recorded in one BENCH json:
+
+* **Guided > blind**: at equal program budget and equal oracle set, the
+  guided campaign must cover *strictly more* distinct
+  (edge-kind × model × exhaustion-reason) grid cells than the blind
+  ``mixed``-profile stream — i.e. mutation of rare-cell corpus entries,
+  the profile bandit, and bloom dedup must actually buy coverage, not
+  just ceremony.
+* **Kill-resume exactness**: a campaign run in a subprocess and
+  ``SIGKILL``-ed mid-flight, then resumed to the same total budget,
+  must reproduce the uninterrupted campaign's coverage grid **and**
+  mutation corpus byte-for-byte (same seed).  This exercises the WAL
+  commit path under a real kill, not a simulated one.
+
+Exits nonzero when either gate fails.  The CI smoke job runs this with
+``--quick`` (smaller budget; both gates still bite).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fuzzcov.py [--quick]
+        [--out BENCH_fuzzcov.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.testing.coverage import (
+    blind_grid,
+    load_campaign,
+    run_guided_campaign,
+)
+
+#: The oracle subset the benchmark fuzzes with: the cheap single-model
+#: axiomatic comparisons plus the chain/pruning oracles — enough model
+#: diversity for a meaningful grid without the heavyweight parallel and
+#: solver oracles dominating the wall clock.
+BENCH_ORACLES = (
+    "axiomatic-vs-sc",
+    "axiomatic-vs-tso",
+    "axiomatic-vs-pso",
+    "inclusion-chain",
+    "pruned-vs-unpruned",
+)
+#: Program budget of the full run (and of each of the three campaigns).
+BUDGET = 48
+#: Program budget under ``--quick`` (CI smoke).
+QUICK_BUDGET = 24
+#: Campaign seed — fixed so the gate is reproducible everywhere.
+SEED = 2006
+#: Guided batch size (small, so feedback kicks in early even in --quick).
+BATCH_SIZE = 6
+#: Seconds the kill-resume subprocess runs before SIGKILL.
+KILL_AFTER = 3.0
+
+
+def grid_fingerprint(campaign_dir: Path) -> tuple:
+    """(grid json, corpus identity) of a campaign — what the resume gate
+    compares byte-for-byte."""
+    state = load_campaign(campaign_dir)
+    corpus = [(r.index, r.digest, r.program, r.new_cells) for r in state.corpus]
+    return state.grid.to_json(), corpus, state.budget_spent, state.next_index
+
+
+def run_killed_then_resumed(workdir: Path, budget: int) -> tuple:
+    """Run a campaign in a subprocess, SIGKILL it mid-flight, resume it
+    in-process to the same total budget, and return its fingerprint."""
+    campaign_dir = workdir / "killed"
+    code = (
+        "from repro.testing.coverage import run_guided_campaign\n"
+        f"run_guided_campaign({str(campaign_dir)!r}, seed={SEED}, budget={budget}, "
+        f"batch_size={BATCH_SIZE}, oracle_names={BENCH_ORACLES!r})\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(__file__).resolve().parents[1] / "src"), env.get("PYTHONPATH", "")]
+    )
+    process = subprocess.Popen([sys.executable, "-c", code], env=env)
+    time.sleep(KILL_AFTER)
+    killed = process.poll() is None
+    if killed:
+        process.send_signal(signal.SIGKILL)
+    process.wait()
+
+    state = load_campaign(campaign_dir)
+    spent = 0 if state is None else state.budget_spent
+    remaining = budget - spent
+    if remaining > 0:
+        run_guided_campaign(
+            campaign_dir,
+            seed=SEED,
+            budget=remaining,
+            batch_size=BATCH_SIZE,
+            oracle_names=BENCH_ORACLES,
+            resume=spent > 0,
+        )
+    return grid_fingerprint(campaign_dir), killed, spent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"budget {QUICK_BUDGET} instead of {BUDGET} (CI smoke); "
+        "both gates still apply",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_fuzzcov.json",
+        help="path for the BENCH json (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    budget = QUICK_BUDGET if args.quick else BUDGET
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench-fuzzcov-"))
+    try:
+        # -- gate 1: guided coverage strictly beats blind -------------
+        blind_start = time.perf_counter()
+        blind = blind_grid(SEED, budget, oracle_names=BENCH_ORACLES)
+        blind_seconds = time.perf_counter() - blind_start
+
+        guided_start = time.perf_counter()
+        run_guided_campaign(
+            workdir / "guided",
+            seed=SEED,
+            budget=budget,
+            batch_size=BATCH_SIZE,
+            oracle_names=BENCH_ORACLES,
+        )
+        guided_seconds = time.perf_counter() - guided_start
+        guided_state = load_campaign(workdir / "guided")
+
+        blind_cells = blind.project()
+        guided_cells = guided_state.grid.project()
+
+        # -- gate 2: SIGKILL mid-campaign, resume, compare ------------
+        uninterrupted = grid_fingerprint(workdir / "guided")
+        resumed, killed, spent_at_kill = run_killed_then_resumed(workdir, budget)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    result = {
+        "benchmark": "fuzz-coverage",
+        "quick": args.quick,
+        "seed": SEED,
+        "budget": budget,
+        "batch_size": BATCH_SIZE,
+        "oracles": list(BENCH_ORACLES),
+        "blind_seconds": blind_seconds,
+        "guided_seconds": guided_seconds,
+        "blind_cells_3d": len(blind_cells),
+        "guided_cells_3d": len(guided_cells),
+        "guided_cells_4d": len(guided_state.grid),
+        "guided_only_cells": sorted(
+            "|".join(cell) for cell in guided_cells - blind_cells
+        ),
+        "blind_only_cells": sorted(
+            "|".join(cell) for cell in blind_cells - guided_cells
+        ),
+        "corpus_entries": len(guided_state.corpus),
+        "subprocess_killed_midflight": killed,
+        "budget_spent_at_kill": spent_at_kill,
+        "resume_grid_identical": resumed == uninterrupted,
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    print(
+        f"BENCH fuzzcov: budget={budget} oracles={len(BENCH_ORACLES)} "
+        f"seed={SEED} batch={BATCH_SIZE}"
+    )
+    print(
+        f"BENCH blind={len(blind_cells)} guided={len(guided_cells)} "
+        f"3-dim cells (+{len(guided_cells) - len(blind_cells)}); "
+        f"blind={blind_seconds:.1f}s guided={guided_seconds:.1f}s"
+    )
+    print(
+        f"BENCH kill-resume: killed={killed} spent-at-kill={spent_at_kill} "
+        f"identical={resumed == uninterrupted}"
+    )
+    print(f"BENCH json written to {args.out}")
+
+    status = 0
+    if len(guided_cells) <= len(blind_cells):
+        print(
+            f"FAIL: guided generation covered {len(guided_cells)} 3-dim "
+            f"cells, blind covered {len(blind_cells)} — guidance must win "
+            f"strictly",
+            file=sys.stderr,
+        )
+        status = 1
+    if resumed != uninterrupted:
+        print(
+            "FAIL: killed-then-resumed campaign does not reproduce the "
+            "uninterrupted run's grid/corpus",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,7 @@ CACHE_PAYLOAD_VERSION = 1
 
 _BLOOM_FILE = "bloom.json"
 _INDEX_FILE = "index.json"
+_PARTIAL_SUBDIR = "partial"
 _INDEX_CRC_SIZE = 8
 
 
@@ -89,6 +90,10 @@ class CacheCounters:
     decode_failures: int = 0  #: hits degraded to misses by damage
     validations: int = 0  #: hits re-enumerated under ``validate=True``
     invalidations: int = 0  #: tombstones written
+    partial_hits: int = 0  #: budget-exhausted searches resumed from a checkpoint
+    partial_misses: int = 0  #: partial lookups with no (usable) checkpoint
+    partial_puts: int = 0  #: partial-search checkpoints persisted
+    partial_drops: int = 0  #: checkpoints retired (search completed)
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
@@ -433,6 +438,67 @@ class BehaviorCache:
         self._dirty = True
         self.counters.invalidations += 1
 
+    # -- partial-search checkpoints -------------------------------------
+
+    def _partial_path(self, program, model) -> Path:
+        # Keyed with *default* limits: a partial search's identity is the
+        # (program, model) pair — the whole point is resuming it under a
+        # different (larger) budget.
+        key = behavior_cache_key(program, model)
+        return self.directory / _PARTIAL_SUBDIR / f"{key.hex()}.ckpt"
+
+    def lookup_partial(self, program, model):
+        """The persisted partial-search checkpoint for ``(program,
+        model)``, or ``None``.  The checkpoint carries the enumeration
+        dedup set (seen-state digests) and remaining worklist, so a
+        resumed budget-exhausted search skips every state it already
+        explored instead of restarting.  A damaged checkpoint is deleted
+        and degrades to a miss — never an error."""
+        from repro.core.enumerate import EnumerationCheckpoint, EnumerationError
+
+        path = self._partial_path(program, model)
+        if not path.exists():
+            self.counters.partial_misses += 1
+            return None
+        try:
+            checkpoint = EnumerationCheckpoint.load(path)
+        except EnumerationError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.counters.decode_failures += 1
+            self.counters.partial_misses += 1
+            return None
+        self.counters.partial_hits += 1
+        return checkpoint
+
+    def store_partial(self, program, model, checkpoint) -> Path:
+        """Persist a budget-exhausted search's checkpoint (atomic write;
+        replaces any earlier, shallower one for the same pair)."""
+        path = self._partial_path(program, model)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        checkpoint.save(path)
+        self.counters.partial_puts += 1
+        return path
+
+    def drop_partial(self, program, model) -> bool:
+        """Retire the checkpoint once the search completes (the complete
+        result now lives in the value store)."""
+        path = self._partial_path(program, model)
+        try:
+            os.unlink(path)
+        except OSError:
+            return False
+        self.counters.partial_drops += 1
+        return True
+
+    def _partial_count(self) -> int:
+        directory = self.directory / _PARTIAL_SUBDIR
+        if not directory.is_dir():
+            return 0
+        return sum(1 for _ in directory.glob("*.ckpt"))
+
     # -- sidecar persistence --------------------------------------------
 
     def flush(self) -> None:
@@ -509,6 +575,7 @@ class BehaviorCache:
             "live_entries": len(live),
             "tombstoned": sum(1 for r in index.values() if r.rtype == TOMBSTONE),
             "redundant_records": total_records - len(index),
+            "partial_checkpoints": self._partial_count(),
             "bloom_fpr_estimate": self._ensure_bloom().estimated_fpr(),
             "counters": self.counters.as_dict(),
         }

@@ -28,6 +28,7 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -608,9 +609,10 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
     from pathlib import Path
 
-    from repro.testing.fuzz import replay_path, run_campaign, run_mutation_kill
+    from repro.testing.fuzz import replay_paths, run_campaign, run_mutation_kill
     from repro.testing.fuzzgen import MIXED, PROFILES
     from repro.testing.mutants import MUTANTS
     from repro.testing.oracles import ORACLES
@@ -629,21 +631,49 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             print(f"{mutant.name:26s} {mutant.description}")
         return 0
 
+    if args.action == "coverage":
+        from repro.testing.coverage import coverage_report, load_campaign
+
+        if not args.dir:
+            raise ReproError("usage: repro fuzz coverage DIR")
+        print(coverage_report(Path(args.dir)))
+        state = load_campaign(Path(args.dir))
+        if args.export:
+            Path(args.export).write_text(
+                json.dumps(state.grid.to_json(), sort_keys=True, indent=1) + "\n"
+            )
+            print(f"grid exported to {args.export}")
+        if args.check_superset:
+            from repro.testing.coverage import CoverageGrid
+
+            baseline = CoverageGrid.from_json(
+                json.loads(Path(args.check_superset).read_text())
+            )
+            if not state.grid.is_superset_of(baseline):
+                missing = set(baseline.cells) - set(state.grid.cells)
+                print(
+                    f"GRID SHRANK: {len(missing)} cell(s) of "
+                    f"{args.check_superset} are no longer covered"
+                )
+                return 1
+            print(f"grid covers all {len(baseline)} cells of {args.check_superset}")
+        return 0
+
     corpus_dir = Path(args.corpus_dir) if args.corpus_dir else None
+
+    if args.campaign_dir and (args.replay or args.mutants):
+        raise ReproError("--campaign-dir cannot be combined with --replay/--mutants")
 
     if args.replay:
         target = Path(args.replay)
         paths = sorted(target.glob("*.litmus")) if target.is_dir() else [target]
         if not paths:
             raise ReproError(f"no corpus entries under {target}")
-        from repro.testing.corpus import load_entry
 
         failures = 0
-        for path in paths:
-            discrepancies, _skipped = replay_path(path)
+        for entry, discrepancies, _skipped in replay_paths(paths):
             # A mutant entry replays *with its mutant installed*, so a
             # discrepancy is the expected, healthy verdict for it.
-            entry = load_entry(path)
             if entry.mutant:
                 ok = bool(discrepancies)
                 verdict = "reproduces" if ok else "LOST (mutant no longer caught)"
@@ -651,7 +681,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                 ok = not discrepancies
                 verdict = "clean" if ok else "DISCREPANCY"
             failures += 0 if ok else 1
-            print(f"{path.name:40s} {verdict}")
+            print(f"{entry.path.name:40s} {verdict}")
             for discrepancy in discrepancies if not ok else ():
                 print(f"    {discrepancy}")
         return 1 if failures else 0
@@ -679,6 +709,23 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         return 1 if bad else 0
 
     cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    if args.campaign_dir:
+        from repro.testing.coverage import DEFAULT_BATCH_SIZE, run_guided_campaign
+
+        guided = run_guided_campaign(
+            campaign_dir=Path(args.campaign_dir),
+            seed=args.seed,
+            budget=args.budget,
+            profile=args.profile,
+            jobs=args.jobs,
+            do_shrink=not args.no_shrink,
+            corpus_dir=corpus_dir,
+            cache_dir=cache_dir,
+            resume=args.resume,
+            batch_size=args.batch_size or DEFAULT_BATCH_SIZE,
+        )
+        print(guided.summary())
+        return 0 if guided.clean else 1
     report = run_campaign(
         seed=args.seed,
         budget=args.budget,
@@ -1165,6 +1212,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="differential fuzzing: generated programs vs N-way oracles",
     )
     p_fuzz.add_argument(
+        "action",
+        nargs="?",
+        choices=["coverage"],
+        help="'coverage DIR' prints a campaign's coverage-grid report "
+        "instead of fuzzing",
+    )
+    p_fuzz.add_argument(
+        "dir",
+        nargs="?",
+        metavar="DIR",
+        help="campaign directory (with the 'coverage' action)",
+    )
+    p_fuzz.add_argument(
         "--budget",
         type=int,
         default=60,
@@ -1232,6 +1292,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="share a persistent behavior cache across oracles and "
         "campaigns (ignored by --mutants, which must re-enumerate)",
+    )
+    p_fuzz.add_argument(
+        "--campaign-dir",
+        metavar="DIR",
+        default=None,
+        help="coverage-guided mode: persist the campaign (coverage grid, "
+        "mutation corpus, RNG cursor, spent budget) under DIR; --budget "
+        "adds that many programs to whatever the campaign accumulated",
+    )
+    p_fuzz.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the existing campaign in --campaign-dir (required "
+        "when the directory already holds one)",
+    )
+    p_fuzz.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="guided-campaign batch size (coverage feedback folds in at "
+        "batch boundaries; pinned per campaign)",
+    )
+    p_fuzz.add_argument(
+        "--export",
+        metavar="FILE",
+        default=None,
+        help="with 'coverage DIR': also write the grid as JSON to FILE",
+    )
+    p_fuzz.add_argument(
+        "--check-superset",
+        metavar="FILE",
+        default=None,
+        help="with 'coverage DIR': exit 1 unless the campaign's grid "
+        "covers every cell of the grid JSON in FILE (monotonicity gate)",
     )
     p_fuzz.set_defaults(func=cmd_fuzz)
 
@@ -1351,6 +1446,13 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Reader closed the pipe (e.g. ``repro fuzz coverage DIR | head``)
+        # — the POSIX convention is a quiet exit, not a traceback.
+        # Reopen stdout on devnull so the interpreter's shutdown flush
+        # does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -420,42 +420,76 @@ def enumerate_behaviors(
                 cached=True,
             )
 
-    initial = Execution.initial(program, model, limits.max_nodes_per_thread, facts)
-    worklist: list[Execution] = [initial]
-    seen_states: set = {_dedup_key(initial, dedup_exact)}
-    if parallel is not None:
-        result = _parallel_search(
-            program,
-            model,
-            limits,
-            dedup,
-            strict,
-            token,
-            worklist,
-            seen_states,
-            finished={},
-            stats=EnumerationStats(),
-            dedup_exact=dedup_exact,
-            config=parallel,
-        )
+    # Partial-search persistence: a budget-exhausted search checkpoints
+    # its dedup set and worklist next to the cache, so a later call on
+    # the same (program, model) — typically with a larger budget —
+    # resumes instead of re-exploring every seen state.  Engaged only
+    # for the plain configuration the checkpoint actually captures:
+    # sequential, digest-dedup, no static-facts pruning.  Counting
+    # budgets are cumulative across resumes, so a same-budget retry
+    # stops exactly where a fresh run would — verdicts never depend on
+    # whether a checkpoint was found.
+    partial_eligible = (
+        cache is not None
+        and facts is None
+        and parallel is None
+        and dedup
+        and not dedup_exact
+    )
+    checkpoint = None
+    if partial_eligible:
+        checkpoint = cache.lookup_partial(program, model)
+        if checkpoint is not None and (
+            not checkpoint.dedup
+            or getattr(checkpoint, "dedup_exact", False)
+            or checkpoint.model.name != model.name
+        ):
+            checkpoint = None
+
+    if checkpoint is not None:
+        result = resume_enumeration(checkpoint, limits, strict=strict, token=token)
     else:
-        result = _search(
-            program,
-            model,
-            limits,
-            dedup,
-            strict,
-            token,
-            worklist,
-            seen_states,
-            finished={},
-            stats=EnumerationStats(),
-            dedup_exact=dedup_exact,
-        )
+        initial = Execution.initial(program, model, limits.max_nodes_per_thread, facts)
+        worklist: list[Execution] = [initial]
+        seen_states: set = {_dedup_key(initial, dedup_exact)}
+        if parallel is not None:
+            result = _parallel_search(
+                program,
+                model,
+                limits,
+                dedup,
+                strict,
+                token,
+                worklist,
+                seen_states,
+                finished={},
+                stats=EnumerationStats(),
+                dedup_exact=dedup_exact,
+                config=parallel,
+            )
+        else:
+            result = _search(
+                program,
+                model,
+                limits,
+                dedup,
+                strict,
+                token,
+                worklist,
+                seen_states,
+                finished={},
+                stats=EnumerationStats(),
+                dedup_exact=dedup_exact,
+            )
     if cache is not None and cache_key is not None and result.complete:
         cache.store(
             cache_key, program, model, limits, result.executions, result.stats
         )
+    if partial_eligible:
+        if result.complete:
+            cache.drop_partial(program, model)
+        elif result.checkpoint is not None:
+            cache.store_partial(program, model, result.checkpoint)
     return result
 
 

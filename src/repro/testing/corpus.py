@@ -37,7 +37,7 @@ from repro.isa.disassembler import disassemble
 from repro.isa.program import Program
 
 _HEADER = re.compile(r"^#\s*fuzz-([a-z]+)\s*:\s*(.*?)\s*$")
-_KNOWN_KEYS = frozenset({"seed", "profile", "oracle", "mutant", "note"})
+_KNOWN_KEYS = frozenset({"seed", "profile", "oracle", "mutant", "note", "cells"})
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,9 @@ class CorpusEntry:
     oracle: str | None = None
     mutant: str | None = None
     note: str | None = None
+    #: For coverage-campaign exports: the grid cells this program hit
+    #: first, as ``kind|model|reason|outcome`` atoms joined by ``; ``.
+    cells: str | None = None
 
     @property
     def name(self) -> str:
@@ -70,6 +73,8 @@ def render_entry(entry: CorpusEntry) -> str:
         lines.append(f"# fuzz-mutant: {entry.mutant}")
     if entry.note:
         lines.append(f"# fuzz-note: {entry.note}")
+    if entry.cells:
+        lines.append(f"# fuzz-cells: {entry.cells}")
     lines.append(disassemble(entry.program).rstrip("\n"))
     return "\n".join(lines) + "\n"
 
@@ -122,6 +127,7 @@ def load_entry(path: Path) -> CorpusEntry:
         oracle=meta.get("oracle"),
         mutant=meta.get("mutant"),
         note=meta.get("note"),
+        cells=meta.get("cells"),
     )
 
 

@@ -24,7 +24,13 @@ from repro.errors import ReproError
 from repro.experiments.base import parallel_map
 from repro.isa.program import Program
 from repro.testing.corpus import CorpusEntry, save_entry
-from repro.testing.fuzzgen import MIXED, generate_program, get_profile, profile_for_index
+from repro.testing.fuzzgen import (
+    MIXED,
+    derive_seed,
+    generate_program,
+    get_profile,
+    profile_for_index,
+)
 from repro.testing.mutants import MUTANTS, Mutant
 from repro.testing.oracles import FUZZ_LIMITS, Discrepancy, run_oracles
 from repro.testing.shrink import ShrinkResult, shrink
@@ -146,8 +152,9 @@ def campaign_items(
     items = []
     for index in range(budget):
         resolved = profile_for_index(profile, index)
-        derived = (seed * 1_000_003 + index) & 0x7FFFFFFF
-        items.append((index, derived, resolved.name, oracle_names, cache_dir))
+        items.append(
+            (index, derive_seed(seed, index), resolved.name, oracle_names, cache_dir)
+        )
     return items
 
 
@@ -337,27 +344,94 @@ def run_mutation_kill(
 # corpus replay
 
 
-def replay_path(path: Path, mutated: bool | None = None):
-    """Replay one corpus file: returns ``(discrepancies, skipped)``.
+def _replay_context_key(entry: CorpusEntry, active_mutant: str | None) -> tuple:
+    """Memoization key for replay contexts: the program *content* plus
+    the installed mutant (mutated enumerations must never be shared with
+    healthy ones, or vice versa)."""
+    import hashlib
+
+    from repro.isa.disassembler import disassemble
+
+    digest = hashlib.blake2b(
+        disassemble(entry.program).encode("utf-8"), digest_size=16
+    ).hexdigest()
+    return (digest, active_mutant)
+
+
+def replay_entry(
+    entry: CorpusEntry,
+    mutated: bool | None = None,
+    context_cache: dict | None = None,
+):
+    """Replay one loaded corpus entry: returns ``(discrepancies, skipped)``.
 
     ``mutated=None`` honors the entry's recorded mutant (installed when
     present); ``True`` requires one; ``False`` replays on the healthy
     tree regardless.  Mutant entries replay only their recorded oracle —
     that is the property the file witnesses.
-    """
-    from repro.testing.corpus import load_entry
-    from repro.testing.mutants import get_mutant
 
-    entry = load_entry(path)
+    ``context_cache`` memoizes one :class:`~repro.testing.oracles.OracleContext`
+    per (program content, installed mutant) across a replay batch, so a
+    corpus holding both a healthy and a mutant view of the same program
+    (or the CLI replaying after a mutation hunt already enumerated it)
+    never re-enumerates from scratch.
+    """
+    from repro.testing.mutants import get_mutant
+    from repro.testing.oracles import OracleContext
+
     names = None
     if entry.mutant:
         names = (entry.oracle,) if entry.oracle else KILL_ORACLES
     if mutated is True and not entry.mutant:
-        raise ReproError(f"{path}: entry records no mutant to install")
-    if entry.mutant and mutated is not False:
-        with get_mutant(entry.mutant).applied():
-            return run_oracles(entry.program, names=names, limits=FUZZ_LIMITS)
-    return run_oracles(entry.program, names=names, limits=FUZZ_LIMITS)
+        raise ReproError(f"{entry.path or entry.name}: entry records no mutant to install")
+    active_mutant = entry.mutant if (entry.mutant and mutated is not False) else None
+    context = None
+    program = entry.program
+    if context_cache is not None:
+        key = _replay_context_key(entry, active_mutant)
+        context = context_cache.get(key)
+        if context is None:
+            context = OracleContext(program, FUZZ_LIMITS)
+            context_cache[key] = context
+        else:
+            # Two corpus files may hold identical programs; run against
+            # the context's own program object so memoized enumerations
+            # are shared.
+            program = context.program
+    if active_mutant:
+        with get_mutant(active_mutant).applied():
+            return run_oracles(
+                program, names=names, limits=FUZZ_LIMITS, context=context
+            )
+    return run_oracles(program, names=names, limits=FUZZ_LIMITS, context=context)
+
+
+def replay_path(path: Path, mutated: bool | None = None, context_cache: dict | None = None):
+    """Load-and-replay one corpus file (see :func:`replay_entry`)."""
+    from repro.testing.corpus import load_entry
+
+    return replay_entry(load_entry(path), mutated=mutated, context_cache=context_cache)
+
+
+def replay_paths(paths, mutated: bool | None = None):
+    """Replay a corpus batch with a shared replay-context memo.
+
+    Returns ``[(entry, discrepancies, skipped), ...]`` in input order.
+    One enumeration context is derived per distinct (program, mutant)
+    pair for the whole batch — replaying the full banked corpus costs
+    each program's enumeration once, not once per oracle invocation.
+    """
+    from repro.testing.corpus import load_entry
+
+    context_cache: dict = {}
+    results = []
+    for path in paths:
+        entry = load_entry(path)
+        discrepancies, skipped = replay_entry(
+            entry, mutated=mutated, context_cache=context_cache
+        )
+        results.append((entry, discrepancies, skipped))
+    return results
 
 
 __all__ = [
@@ -369,7 +443,9 @@ __all__ = [
     "fuzz_one",
     "hunt_mutant",
     "minimize_discrepancy",
+    "replay_entry",
     "replay_path",
+    "replay_paths",
     "run_campaign",
     "run_mutation_kill",
 ]

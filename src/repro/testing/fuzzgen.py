@@ -171,7 +171,21 @@ PROFILES: dict[str, FuzzProfile] = {
 #: profile — the default for fuzzing campaigns.
 MIXED = "mixed"
 
-_MIXED_ORDER = ("relaxed", "default", "dataflow", "branchy", "rmw", "fences")
+#: The fixed round-robin order :data:`MIXED` cycles through — also the
+#: deterministic tie-break order of the coverage-guided profile bandit
+#: (:mod:`repro.testing.coverage`).
+MIXED_ORDER = ("relaxed", "default", "dataflow", "branchy", "rmw", "fences")
+_MIXED_ORDER = MIXED_ORDER
+
+
+def derive_seed(seed: int, index: int) -> int:
+    """The per-program seed of the ``index``-th draw of a campaign.
+
+    A pure function of ``(seed, index)``, so any slicing of a campaign —
+    chunked workers, interrupted-and-resumed runs, guided replanning —
+    regenerates exactly the same program for a given index.
+    """
+    return (seed * 1_000_003 + index) & 0x7FFFFFFF
 
 
 def get_profile(name: str) -> FuzzProfile:
@@ -378,7 +392,7 @@ def iter_programs(
     same programs as a sequential one.
     """
     for index in range(count):
-        derived = (seed * 1_000_003 + index) & 0x7FFFFFFF
+        derived = derive_seed(seed, index)
         resolved = profile_for_index(profile, index)
         yield derived, resolved.name, generate_program(derived, resolved)
 
@@ -387,6 +401,8 @@ __all__ = [
     "FuzzProfile",
     "PROFILES",
     "MIXED",
+    "MIXED_ORDER",
+    "derive_seed",
     "get_profile",
     "profile_for_index",
     "generate_program",

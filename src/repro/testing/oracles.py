@@ -113,6 +113,26 @@ class OracleContext:
             self._facts = compute_static_facts(self.program)
         return self._facts
 
+    def enumeration_reasons(self) -> dict[str, str]:
+        """Per-variant enumeration status, keyed by the *coverage label*
+        of each memoized run: the model name plus ``+par`` / ``+pruned``
+        engine suffixes (``"weak"``, ``"weak+par"``, ``"tso+pruned"``,
+        …).  The value is ``"complete"`` or the
+        :class:`~repro.core.enumerate.ExhaustionReason` value of a
+        partial run — one axis of the coverage grid
+        (:mod:`repro.testing.coverage`)."""
+        reasons: dict[str, str] = {}
+        for (model_name, parallel, pruned), result in self._results.items():
+            label = model_name
+            if parallel:
+                label += "+par"
+            if pruned:
+                label += "+pruned"
+            reasons[label] = (
+                "complete" if result.complete else result.reason.value
+            )
+        return reasons
+
 
 def _diff(left: frozenset, right: frozenset, left_name: str, right_name: str) -> str:
     """Human-readable outcome-set difference (truncated)."""
@@ -137,12 +157,19 @@ def _diff(left: frozenset, right: frozenset, left_name: str, right_name: str) ->
 
 @dataclass(frozen=True)
 class Oracle:
-    """One differential agreement check."""
+    """One differential agreement check.
+
+    ``touches`` names the coverage labels
+    (:meth:`OracleContext.enumeration_reasons` keys) of every
+    enumeration variant the check may request — the model axis its
+    verdicts contribute to in the coverage grid.
+    """
 
     name: str
     description: str
     check: Callable[[OracleContext], list[Discrepancy]]
     applicable: Callable[[Program], bool] = lambda program: True
+    touches: tuple[str, ...] = ()
 
 
 def _mismatch(ctx, oracle, model, axiomatic, reference, ref_name) -> list[Discrepancy]:
@@ -534,38 +561,44 @@ def _check_fence_repair(ctx: OracleContext) -> list[Discrepancy]:
 
 ORACLES: tuple[Oracle, ...] = (
     Oracle("axiomatic-vs-sc",
-           "axiomatic SC enumeration == interleaving machine", _check_sc),
+           "axiomatic SC enumeration == interleaving machine", _check_sc,
+           touches=("sc",)),
     Oracle("axiomatic-vs-tso",
-           "axiomatic TSO enumeration == store-buffer machine", _check_tso),
+           "axiomatic TSO enumeration == store-buffer machine", _check_tso,
+           touches=("tso",)),
     Oracle("axiomatic-vs-pso",
            "axiomatic PSO enumeration == non-FIFO store-buffer machine",
-           _check_pso),
+           _check_pso, touches=("pso",)),
     Oracle("axiomatic-vs-dataflow",
            "axiomatic WEAK enumeration == ≺-linearization machine "
            "(branch-free programs)", _check_dataflow,
-           applicable=lambda program: not program.has_branches()),
+           applicable=lambda program: not program.has_branches(),
+           touches=("weak",)),
     Oracle("sequential-vs-parallel",
            "sequential engine == sharded parallel engine (workers=2)",
-           _check_parallel),
+           _check_parallel, touches=("weak", "weak+par")),
     Oracle("pruned-vs-unpruned",
-           "dataflow-pruned enumeration == plain enumeration", _check_pruned),
+           "dataflow-pruned enumeration == plain enumeration", _check_pruned,
+           touches=("weak", "weak+pruned")),
     Oracle("solver-vs-axiomatic",
            "SAT/AllSAT constraint solver == axiomatic enumeration "
-           "(loadstore_key-identical, tso and weak)", _check_solver),
+           "(loadstore_key-identical, tso and weak)", _check_solver,
+           touches=("tso+pruned", "weak+pruned")),
     Oracle("inclusion-chain",
            "outcome-set lattice sc ⊆ tso ⊆ pso and sc ⊆ weak ⊆ weak-spec "
            "(the two store-atomicity regimes are incomparable)",
-           _check_inclusion),
+           _check_inclusion,
+           touches=("sc", "tso", "pso", "weak", "weak-spec")),
     Oracle("static-vs-enumeration",
            "static delay analysis sound & monotone vs enumeration",
-           _check_static),
+           _check_static, touches=("sc", "tso", "weak")),
     Oracle("speculation-safety",
            "statically-safe speculation admits no new outcomes",
-           _check_speculation),
+           _check_speculation, touches=("weak", "weak-spec")),
     Oracle("static-fence-repair",
            "static set-cover repair == enumerative robust synthesis; "
            "robustness certificates confirmed by enumeration",
-           _check_fence_repair),
+           _check_fence_repair, touches=("sc", "tso", "pso", "weak")),
 )
 
 _BY_NAME = {oracle.name: oracle for oracle in ORACLES}
@@ -586,9 +619,10 @@ def oracle_table() -> str:
     enforces it), so registering a new oracle here is the single source
     of truth for the CLI listing and the documentation alike.
     """
-    lines = ["| oracle | agreement checked |", "|---|---|"]
+    lines = ["| oracle | agreement checked | coverage labels |", "|---|---|---|"]
     for oracle in ORACLES:
-        lines.append(f"| `{oracle.name}` | {oracle.description} |")
+        labels = ", ".join(f"`{label}`" for label in oracle.touches)
+        lines.append(f"| `{oracle.name}` | {oracle.description} | {labels} |")
     return "\n".join(lines)
 
 
@@ -597,6 +631,7 @@ def run_oracles(
     names: tuple[str, ...] | None = None,
     limits: EnumerationLimits = FUZZ_LIMITS,
     cache=None,
+    context: OracleContext | None = None,
 ) -> tuple[list[Discrepancy], list[str]]:
     """Run every applicable oracle on ``program``.
 
@@ -605,9 +640,17 @@ def run_oracles(
     deterministic for a given program and budget.  ``cache`` memoizes
     the baseline (sequential, unpruned) enumerations across oracles and
     across runs; verdicts are identical with and without it.
+
+    ``context`` supplies a caller-owned :class:`OracleContext` (it must
+    wrap the same ``program``); the caller can then read
+    :meth:`OracleContext.enumeration_reasons` afterwards (the coverage
+    grid does), or share one context across repeated replays of the same
+    program.  When given, ``limits``/``cache`` are taken from it.
     """
     selected = ORACLES if names is None else tuple(get_oracle(n) for n in names)
-    ctx = OracleContext(program, limits, cache=cache)
+    if context is not None and context.program is not program:
+        raise ReproError("run_oracles: context wraps a different program")
+    ctx = context if context is not None else OracleContext(program, limits, cache=cache)
     discrepancies: list[Discrepancy] = []
     skipped: list[str] = []
     for oracle in selected:

@@ -108,6 +108,14 @@ def _candidates(program: Program) -> Iterator[Program]:
     yield from _drop_initial_memory(program)
 
 
+def reduction_candidates(program: Program) -> Iterator[Program]:
+    """Every one-step reduction of ``program``, in the fixed order the
+    shrinker tries them.  Also the *reducing* half of the coverage-guided
+    mutation operators (:mod:`repro.testing.coverage`): each candidate is
+    a valid, strictly-simpler neighbor of the input."""
+    yield from _candidates(program)
+
+
 def _rebuild(program: Program, threads: tuple[Thread, ...]) -> Program | None:
     if not threads or all(not thread.code for thread in threads):
         return None
@@ -225,4 +233,4 @@ def _drop_initial_memory(program: Program) -> Iterator[Program]:
             continue
 
 
-__all__ = ["Predicate", "ShrinkResult", "shrink"]
+__all__ = ["Predicate", "ShrinkResult", "reduction_candidates", "shrink"]
